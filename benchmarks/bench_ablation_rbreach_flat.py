@@ -1,0 +1,66 @@
+"""Ablation benchmark: hierarchical landmark index vs a flat (single-level) one.
+
+RBIndex organises landmarks into levels so that reachability between leaf
+landmarks can be discovered through upper-level hubs.  This benchmark builds
+the index with the hierarchy disabled (``max_levels=1``) and compares
+accuracy at the same resource ratio, quantifying what the hierarchy buys.
+"""
+
+from conftest import BENCH_SEED, REPORT_DIR
+
+from repro.core.accuracy import boolean_accuracy
+from repro.reachability.compression import compress
+from repro.reachability.hierarchy import build_index
+from repro.reachability.rbreach import RBReach
+from repro.workloads.queries import generate_reachability_workload
+
+ALPHA = 0.02
+NUM_QUERIES = 60
+
+
+def test_ablation_rbreach_flat_vs_hierarchical(benchmark, youtube_small):
+    """Compare the hierarchical index against a flat one at the same alpha."""
+    workload = generate_reachability_workload(
+        youtube_small, count=NUM_QUERIES, seed=BENCH_SEED, max_walk_length=6
+    )
+    compressed = compress(youtube_small)
+
+    def run_both():
+        hierarchical = RBReach(
+            build_index(compressed, ALPHA, reference_size=youtube_small.size())
+        )
+        flat = RBReach(
+            build_index(compressed, ALPHA, reference_size=youtube_small.size(), max_levels=1)
+        )
+        hier_answers = hierarchical.query_many(workload.pairs)
+        flat_answers = flat.query_many(workload.pairs)
+        return {
+            "hierarchical": (
+                boolean_accuracy(workload.truth, hier_answers).f_measure,
+                hierarchical.index.size(),
+            ),
+            "flat": (
+                boolean_accuracy(workload.truth, flat_answers).f_measure,
+                flat.index.size(),
+            ),
+            "false_positives": sum(
+                1 for pair in workload.pairs if hier_answers[pair] and not workload.truth[pair]
+            )
+            + sum(1 for pair in workload.pairs if flat_answers[pair] and not workload.truth[pair]),
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
+    lines = ["== ablation: RBReach hierarchical vs flat index (accuracy, |I|) =="]
+    for variant in ("hierarchical", "flat"):
+        accuracy, size = results[variant]
+        lines.append(f"{variant:13s}  accuracy={accuracy:.3f}  index_size={size}")
+    (REPORT_DIR / "ablation_rbreach_flat.txt").write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    # Soundness holds for both variants and the hierarchy never hurts much.
+    assert results["false_positives"] == 0
+    assert results["hierarchical"][0] >= results["flat"][0] - 0.1
+    budget = max(2, int(ALPHA * youtube_small.size()))
+    assert results["hierarchical"][1] <= budget
+    assert results["flat"][1] <= budget

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 8(b) — pattern-query response time vs alpha on the Yahoo surrogate.
+
+The benchmark times one full regeneration of the experiment at the ``quick``
+scale and writes the resulting series to ``benchmarks/_reports/fig8b.txt``.
+Shape assertions (not absolute numbers) check that the regenerated series is
+usable for the paper-vs-measured comparison in EXPERIMENTS.md.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig8b(benchmark):
+    """Regenerate Figure 8(b) at the quick scale and sanity-check its rows."""
+    result = run_experiment_benchmark(benchmark, "fig8b")
+    assert result.experiment_id == "fig8b"
+    assert result.rows, "the experiment must produce at least one row"
+    for row in result.rows:
+        assert row.rbsim_time > 0
+        assert row.vf2opt_time > 0

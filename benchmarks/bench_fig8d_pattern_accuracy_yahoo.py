@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 8(d) — pattern-query accuracy vs alpha on the Yahoo surrogate.
+
+The benchmark times one full regeneration of the experiment at the ``quick``
+scale and writes the resulting series to ``benchmarks/_reports/fig8d.txt``.
+Shape assertions (not absolute numbers) check that the regenerated series is
+usable for the paper-vs-measured comparison in EXPERIMENTS.md.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig8d(benchmark):
+    """Regenerate Figure 8(d) at the quick scale and sanity-check its rows."""
+    result = run_experiment_benchmark(benchmark, "fig8d")
+    assert result.experiment_id == "fig8d"
+    assert result.rows, "the experiment must produce at least one row"
+    for row in result.rows:
+        assert 0 <= row.rbsim_accuracy <= 1

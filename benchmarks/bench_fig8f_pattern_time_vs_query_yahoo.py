@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 8(f) — pattern-query response time vs |Q| on the Yahoo surrogate.
+
+The benchmark times one full regeneration of the experiment at the ``quick``
+scale and writes the resulting series to ``benchmarks/_reports/fig8f.txt``.
+Shape assertions (not absolute numbers) check that the regenerated series is
+usable for the paper-vs-measured comparison in EXPERIMENTS.md.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig8f(benchmark):
+    """Regenerate Figure 8(f) at the quick scale and sanity-check its rows."""
+    result = run_experiment_benchmark(benchmark, "fig8f")
+    assert result.experiment_id == "fig8f"
+    assert result.rows, "the experiment must produce at least one row"
+    for row in result.rows:
+        assert row.rbsim_time > 0

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 8(j) — pattern-query accuracy vs |V| on synthetic graphs.
+
+The benchmark times one full regeneration of the experiment at the ``quick``
+scale and writes the resulting series to ``benchmarks/_reports/fig8j.txt``.
+Shape assertions (not absolute numbers) check that the regenerated series is
+usable for the paper-vs-measured comparison in EXPERIMENTS.md.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig8j(benchmark):
+    """Regenerate Figure 8(j) at the quick scale and sanity-check its rows."""
+    result = run_experiment_benchmark(benchmark, "fig8j")
+    assert result.experiment_id == "fig8j"
+    assert result.rows, "the experiment must produce at least one row"
+    for row in result.rows:
+        assert 0 <= row.rbsim_accuracy <= 1

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 8(m) — reachability accuracy vs alpha on the Youtube surrogate.
+
+The benchmark times one full regeneration of the experiment at the ``quick``
+scale and writes the resulting series to ``benchmarks/_reports/fig8m.txt``.
+Shape assertions (not absolute numbers) check that the regenerated series is
+usable for the paper-vs-measured comparison in EXPERIMENTS.md.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig8m(benchmark):
+    """Regenerate Figure 8(m) at the quick scale and sanity-check its rows."""
+    result = run_experiment_benchmark(benchmark, "fig8m")
+    assert result.experiment_id == "fig8m"
+    assert result.rows, "the experiment must produce at least one row"
+    for row in result.rows:
+        assert row.rbreach_false_positives == 0
+        assert 0 <= row.rbreach_accuracy <= 1

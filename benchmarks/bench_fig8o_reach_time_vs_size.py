@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 8(o) — reachability response time vs |V| on synthetic graphs.
+
+The benchmark times one full regeneration of the experiment at the ``quick``
+scale and writes the resulting series to ``benchmarks/_reports/fig8o.txt``.
+Shape assertions (not absolute numbers) check that the regenerated series is
+usable for the paper-vs-measured comparison in EXPERIMENTS.md.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig8o(benchmark):
+    """Regenerate Figure 8(o) at the quick scale and sanity-check its rows."""
+    result = run_experiment_benchmark(benchmark, "fig8o")
+    assert result.experiment_id == "fig8o"
+    assert result.rows, "the experiment must produce at least one row"
+    for row in result.rows:
+        assert row.rbreach_time > 0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 2 — ratio of alpha*|G| to |G_dQ(vp)| for RBSim/RBSub on both surrogates.
+
+The benchmark times one full regeneration of the experiment at the ``quick``
+scale and writes the resulting series to ``benchmarks/_reports/table2.txt``.
+Shape assertions (not absolute numbers) check that the regenerated series is
+usable for the paper-vs-measured comparison in EXPERIMENTS.md.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_table2(benchmark):
+    """Regenerate Table 2 at the quick scale and sanity-check its rows."""
+    result = run_experiment_benchmark(benchmark, "table2")
+    assert result.experiment_id == "table2"
+    assert result.rows, "the experiment must produce at least one row"
+    for row in result.rows:
+        assert row.budget_ratio <= 1.0 or row.budget_ratio > 0
+        assert row.reduction_ratio >= 0

@@ -1,0 +1,71 @@
+"""Quickstart: the paper's Example 1 on a small social graph.
+
+Michael asks for cycling lovers (CL) who know both his friends in the LA
+cycling club (CC) and his friends in the hiking group (HG), and then asks
+whether he can reach the sports star Eric via social links.  This script
+builds the Figure 1 graph, answers both queries within a resource budget,
+and compares against the exact algorithms.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import RBReach, RBSim, example1_pattern, match_opt
+from repro.graph.digraph import DiGraph
+
+
+def build_social_graph() -> DiGraph:
+    """A small version of the paper's Figure 1 graph, plus Eric."""
+    graph = DiGraph()
+    graph.add_node("Michael", "Michael")
+    for name in ("hg1", "hg2", "hg3"):
+        graph.add_node(name, "HG")
+    for name in ("cc1", "cc2", "cc3"):
+        graph.add_node(name, "CC")
+    for name in ("cl1", "cl2", "cl3", "cl4"):
+        graph.add_node(name, "CL")
+    graph.add_node("Eric", "Eric")
+
+    for friend in ("hg1", "hg2", "hg3", "cc1", "cc2", "cc3"):
+        graph.add_edge("Michael", friend)
+    graph.add_edge("cc1", "cl3")
+    graph.add_edge("cc3", "cl3")
+    graph.add_edge("cc3", "cl4")
+    graph.add_edge("hg3", "cl3")
+    graph.add_edge("hg3", "cl4")
+    graph.add_edge("hg1", "cl1")
+    # A chain of acquaintances from the cycling lovers to Eric.
+    graph.add_edge("cl4", "cl2")
+    graph.add_edge("cl2", "Eric")
+    return graph
+
+
+def main() -> None:
+    graph = build_social_graph()
+    query = example1_pattern()
+    print(f"social graph: {graph.num_nodes()} people, {graph.num_edges()} links (|G| = {graph.size()})")
+
+    # --- pattern query: who are the cycling lovers Michael is looking for? ---
+    alpha = 16 / graph.size()  # Example 2: a budget of ~16 nodes and edges
+    matcher = RBSim(graph, alpha=alpha)
+    answer = matcher.answer(query, personalized_match="Michael")
+    exact = match_opt(query, graph, "Michael").answer
+
+    print(f"\npattern query (resource ratio alpha = {alpha:.3f}):")
+    print(f"  resource-bounded answer : {sorted(answer.answer)}")
+    print(f"  exact answer            : {sorted(exact)}")
+    print(f"  |G_Q| = {answer.subgraph_size} (budget {answer.budget.size_limit}), "
+          f"visited {answer.budget.visited} items")
+
+    # --- reachability query: can Michael reach Eric? ----------------------- #
+    reach = RBReach.from_graph(graph, alpha=0.5)
+    forward = reach.query("Michael", "Eric")
+    backward = reach.query("Eric", "Michael")
+    print("\nreachability queries (alpha = 0.5):")
+    print(f"  Michael -> Eric : {forward.reachable} (visited {forward.visited} index items)")
+    print(f"  Eric -> Michael : {backward.reachable}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Resource-bounded reachability on a web-graph surrogate.
+
+This example reproduces the non-localized part of the paper (Section 5): it
+builds the hierarchical landmark index over a Yahoo-like web graph surrogate
+and answers a batch of reachability queries within an ``alpha`` budget,
+comparing RBReach against plain BFS, BFS on the compressed graph (BFSOpt)
+and the landmark-vector baseline (LM).
+
+Run with:  python examples/reachability_within_budget.py [num_nodes]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import RBReach, generate_reachability_workload, yahoo_like
+from repro.core.accuracy import boolean_accuracy
+from repro.reachability import BFSOptReachability, BFSReachability, LandmarkVectorReachability
+from repro.reachability.compression import compress
+from repro.reachability.hierarchy import build_index
+
+ALPHAS = (0.002, 0.01, 0.05)
+NUM_QUERIES = 100
+
+
+def main() -> None:
+    num_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    graph = yahoo_like(num_nodes=num_nodes)
+    print(f"surrogate web graph: |V| = {graph.num_nodes()}, |E| = {graph.num_edges()}, |G| = {graph.size()}")
+
+    workload = generate_reachability_workload(graph, count=NUM_QUERIES, seed=11, max_walk_length=6)
+    print(f"workload: {len(workload)} reachability queries ({workload.positives()} reachable pairs)\n")
+
+    compressed = compress(graph)
+    print(f"reachability-preserving compression: |G_DAG| / |G| = {compressed.compression_ratio():.2f}")
+
+    # Baselines.
+    bfs = BFSReachability(graph)
+    bfsopt = BFSOptReachability(graph, compressed=compressed)
+    landmark = LandmarkVectorReachability(graph, seed=11)
+
+    started = time.perf_counter()
+    bfs.query_many(workload.pairs)
+    bfs_time = (time.perf_counter() - started) / len(workload)
+
+    started = time.perf_counter()
+    bfsopt.query_many(workload.pairs)
+    bfsopt_time = (time.perf_counter() - started) / len(workload)
+
+    started = time.perf_counter()
+    lm_answers = landmark.query_many(workload.pairs)
+    lm_time = (time.perf_counter() - started) / len(workload)
+    lm_accuracy = boolean_accuracy(workload.truth, lm_answers).f_measure
+
+    print(f"\n{'algorithm':<22} {'alpha':>8} {'index |I|':>10} {'ms/query':>10} {'accuracy':>9} {'false pos':>10}")
+    print(f"{'BFS':<22} {'-':>8} {'-':>10} {bfs_time * 1000:>10.3f} {1.0:>9.3f} {0:>10}")
+    print(f"{'BFSOpt (compressed)':<22} {'-':>8} {'-':>10} {bfsopt_time * 1000:>10.3f} {1.0:>9.3f} {0:>10}")
+    print(f"{'LM (landmark vectors)':<22} {'-':>8} {len(landmark.landmarks):>10} {lm_time * 1000:>10.3f} {lm_accuracy:>9.3f} {0:>10}")
+
+    for alpha in ALPHAS:
+        started = time.perf_counter()
+        index = build_index(compressed, alpha, reference_size=graph.size())
+        build_time = time.perf_counter() - started
+        matcher = RBReach(index)
+
+        started = time.perf_counter()
+        answers = matcher.query_many(workload.pairs)
+        query_time = (time.perf_counter() - started) / len(workload)
+
+        accuracy = boolean_accuracy(workload.truth, answers).f_measure
+        false_positives = sum(1 for pair in workload.pairs if answers[pair] and not workload.truth[pair])
+        name = f"RBReach (a={alpha})"
+        print(f"{name:<22} {alpha:>8} {index.size():>10} {query_time * 1000:>10.3f} {accuracy:>9.3f} {false_positives:>10}")
+        print(f"{'':<22} {'':>8} {'':>10} {'':>10} (index built once in {build_time * 1000:.1f} ms)")
+
+    print("\nRBReach answers only from the bounded index: it never reports a false positive,"
+          "\nand its accuracy rises towards 100% as the resource ratio alpha grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this project targets may not have the ``wheel`` package
+available for PEP 517 editable installs; ``pip install -e . --no-use-pep517``
+(or a plain ``pip install -e .`` on newer toolchains) works through this shim.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""Command-line interface: ``repro-bench`` / ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    Show the available experiments and datasets.
+``run EXPERIMENT [...]``
+    Run one or more experiments (``all`` for every one) and print their
+    tables; ``--scale full`` uses the larger surrogates, ``--output`` writes
+    the report to a file as well.
+``datasets``
+    Print the profile of each registered dataset surrogate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.harness import available_experiments, run_all, run_experiment
+from repro.experiments.reporting import format_many, format_result, summary_claims
+from repro.graph.statistics import summarize_for_report
+from repro.workloads.datasets import available_datasets, load_dataset
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the tables and figures of 'Querying Big Graphs within Bounded Resources'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments and datasets")
+
+    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (e.g. fig8c table2), or 'all'",
+    )
+    run_parser.add_argument("--scale", choices=["quick", "full"], default="quick")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--output", type=Path, default=None, help="also write the report to this file")
+
+    subparsers.add_parser("datasets", help="print dataset surrogate profiles")
+    return parser
+
+
+def _command_list() -> int:
+    print("experiments:")
+    for experiment_id in available_experiments():
+        print(f"  {experiment_id}")
+    print("datasets:")
+    for dataset in available_datasets():
+        print(f"  {dataset}")
+    return 0
+
+
+def _command_datasets() -> int:
+    for name in available_datasets():
+        graph = load_dataset(name)
+        stats = summarize_for_report(graph, name)
+        print(
+            f"{name}: |V|={stats['nodes']} |E|={stats['edges']} |G|={stats['size']} "
+            f"labels={stats['labels']} max_degree={stats['max_degree']} avg_degree={stats['avg_degree']}"
+        )
+    return 0
+
+
+def _command_run(experiments: List[str], scale: str, seed: int, output: Optional[Path]) -> int:
+    if len(experiments) == 1 and experiments[0] == "all":
+        results = run_all(scale=scale, seed=seed)
+    else:
+        results = [run_experiment(experiment_id, scale=scale, seed=seed) for experiment_id in experiments]
+    report = format_many(results)
+    claims = summary_claims(results)
+    text = report + "\n\nSummary:\n" + "\n".join(f"  {claim}" for claim in claims) + "\n"
+    print(text)
+    if output is not None:
+        output.write_text(text, encoding="utf-8")
+        print(f"(report written to {output})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "datasets":
+        return _command_datasets()
+    if args.command == "run":
+        return _command_run(args.experiments, args.scale, args.seed, args.output)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Answer-accuracy measures (paper Section 3).
+
+For pattern queries the exact answer ``Q(G)`` and an approximate answer ``Y``
+are sets of data nodes; precision, recall and the F-measure are defined the
+standard way, with the paper's conventions for empty sets:
+
+* both empty → accuracy 1 (nothing to find, nothing claimed);
+* ``Q(G)`` empty but ``Y`` not → only precision is meaningful (it is 0);
+* ``Y`` empty but ``Q(G)`` not → only recall is meaningful (it is 0).
+
+For reachability, a *set* of Boolean queries is evaluated at once; precision
+is the fraction of returned answers that are correct (true positives plus
+true negatives over all answers) and recall is defined symmetrically over the
+exact answers, matching Section 3's description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Mapping, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Precision / recall / F-measure triple."""
+
+    precision: float
+    recall: float
+    f_measure: float
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        """Return ``(precision, recall, f_measure)``."""
+        return (self.precision, self.recall, self.f_measure)
+
+
+def _f_measure(precision: float, recall: float) -> float:
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def set_accuracy(exact: Set[Hashable], approximate: Set[Hashable]) -> AccuracyReport:
+    """Accuracy of an approximate match set against the exact answer set."""
+    exact = set(exact)
+    approximate = set(approximate)
+    if not exact and not approximate:
+        return AccuracyReport(precision=1.0, recall=1.0, f_measure=1.0)
+    if not approximate:
+        return AccuracyReport(precision=0.0, recall=0.0, f_measure=0.0)
+    if not exact:
+        return AccuracyReport(precision=0.0, recall=0.0, f_measure=0.0)
+    correct = len(exact & approximate)
+    precision = correct / len(approximate)
+    recall = correct / len(exact)
+    return AccuracyReport(precision=precision, recall=recall, f_measure=_f_measure(precision, recall))
+
+
+def pattern_accuracy(exact: Iterable[Hashable], approximate: Iterable[Hashable]) -> AccuracyReport:
+    """Accuracy for pattern-query answers (sets of output-node matches)."""
+    return set_accuracy(set(exact), set(approximate))
+
+
+def boolean_accuracy(
+    exact: Mapping[Hashable, bool],
+    approximate: Mapping[Hashable, bool],
+) -> AccuracyReport:
+    """Accuracy over a *set* of reachability queries (paper Section 3).
+
+    ``exact`` maps each query id to its true answer and ``approximate`` to the
+    algorithm's answer.  Queries missing from ``approximate`` count against
+    recall but not precision (the algorithm declined to answer them); this
+    generalisation is only exercised by tests — the experiments always answer
+    every query.
+    """
+    exact = dict(exact)
+    approximate = dict(approximate)
+    if not exact and not approximate:
+        return AccuracyReport(precision=1.0, recall=1.0, f_measure=1.0)
+    answered = [query for query in approximate if query in exact]
+    correct = sum(1 for query in answered if approximate[query] == exact[query])
+    precision = correct / len(approximate) if approximate else 0.0
+    recall = correct / len(exact) if exact else 0.0
+    return AccuracyReport(precision=precision, recall=recall, f_measure=_f_measure(precision, recall))
+
+
+def reachability_counts(
+    exact: Mapping[Hashable, bool],
+    approximate: Mapping[Hashable, bool],
+) -> Dict[str, int]:
+    """Confusion counts (tp/tn/fp/fn) for a batch of reachability answers."""
+    counts = {"tp": 0, "tn": 0, "fp": 0, "fn": 0}
+    for query, truth in exact.items():
+        answer = approximate.get(query)
+        if answer is None:
+            continue
+        if answer and truth:
+            counts["tp"] += 1
+        elif not answer and not truth:
+            counts["tn"] += 1
+        elif answer and not truth:
+            counts["fp"] += 1
+        else:
+            counts["fn"] += 1
+    return counts
+
+
+def mean_accuracy(reports: Sequence[AccuracyReport]) -> AccuracyReport:
+    """Average a sequence of accuracy reports component-wise."""
+    if not reports:
+        return AccuracyReport(precision=1.0, recall=1.0, f_measure=1.0)
+    precision = sum(report.precision for report in reports) / len(reports)
+    recall = sum(report.recall for report in reports) / len(reports)
+    f_measure = sum(report.f_measure for report in reports) / len(reports)
+    return AccuracyReport(precision=precision, recall=recall, f_measure=f_measure)

@@ -1,0 +1,189 @@
+"""``RBSim`` — resource-bounded strong simulation (paper Section 4.1, Fig. 3).
+
+Given a simulation query ``Q``, a graph ``G``, the personalized match ``vp``
+and a resource ratio ``alpha``, ``RBSim``
+
+1. runs the dynamic reduction (``Search``/``Pick`` with the simulation
+   guarded condition) to extract a subgraph ``G_Q`` of the ``d_Q``-ball of
+   ``vp`` with ``|G_Q| <= alpha * |G|``, visiting at most ``d_G * alpha * |G|``
+   data items; and
+2. evaluates strong simulation on ``G_Q`` and returns the matches of the
+   output node as the approximate answer ``Q(G_Q)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.core.budget import BudgetReport, ResourceBudget
+from repro.core.reduction import DynamicReducer, ReductionResult
+from repro.core.weights import SimulationGuard
+from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.neighborhood import NeighborhoodIndex
+from repro.matching.strong_simulation import match_in_subgraph
+from repro.patterns.pattern import GraphPattern
+
+
+@dataclass(frozen=True)
+class RBSimConfig:
+    """Tunables for :class:`RBSim`.
+
+    ``visit_coefficient`` is the paper's ``c`` (the visit cap is
+    ``c * alpha * |G|``); it defaults to the maximum degree observed lazily,
+    approximated by a user-supplied constant.  ``initial_bound`` is the
+    starting value of the selection bound ``b`` (the paper uses 2).
+    ``use_weights`` / ``use_guard`` exist for the ablation benchmarks;
+    ``allow_unanchored`` enables the future-work extension where a query has
+    no personalized node match and the reduction is seeded from the most
+    selective label instead.
+    """
+
+    initial_bound: int = 2
+    max_passes: int = 6
+    visit_coefficient: Optional[float] = None
+    use_weights: bool = True
+    use_guard: bool = True
+    allow_unanchored: bool = False
+
+
+@dataclass
+class PatternAnswer:
+    """Approximate answer produced by a resource-bounded pattern algorithm."""
+
+    answer: Set[NodeId] = field(default_factory=set)
+    subgraph: Optional[DiGraph] = None
+    budget: Optional[BudgetReport] = None
+    reduction: Optional[ReductionResult] = None
+
+    @property
+    def subgraph_size(self) -> int:
+        """``|G_Q|`` of the extracted subgraph (0 when nothing was extracted)."""
+        return self.subgraph.size() if self.subgraph is not None else 0
+
+
+class RBSim:
+    """Resource-bounded strong-simulation matcher.
+
+    Parameters
+    ----------
+    graph:
+        The data graph ``G``.
+    alpha:
+        Resource ratio; ``|G_Q| <= alpha * |G|``.
+    config:
+        Optional :class:`RBSimConfig`.
+    neighborhood_index:
+        Optional shared :class:`NeighborhoodIndex`; pass one when issuing many
+        queries against the same graph so the offline summaries are reused
+        (this mirrors the paper's once-for-all preprocessing).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        alpha: float,
+        config: Optional[RBSimConfig] = None,
+        neighborhood_index: Optional[NeighborhoodIndex] = None,
+    ) -> None:
+        self._graph = graph
+        self._alpha = alpha
+        self._config = config or RBSimConfig()
+        self._index = neighborhood_index or NeighborhoodIndex(graph)
+        self._max_degree_cache: Optional[int] = None
+
+    @property
+    def graph(self) -> DiGraph:
+        """The data graph this matcher answers queries on."""
+        return self._graph
+
+    @property
+    def alpha(self) -> float:
+        """The resource ratio."""
+        return self._alpha
+
+    def _max_degree(self) -> int:
+        # Computed once per matcher: scanning every node's degree is linear in
+        # |G| and would otherwise dominate small queries.
+        if self._max_degree_cache is None:
+            self._max_degree_cache = max(1, self._graph.max_degree())
+        return self._max_degree_cache
+
+    def _make_budget(self) -> ResourceBudget:
+        coefficient = self._config.visit_coefficient
+        if coefficient is None:
+            coefficient = float(self._max_degree())
+        return ResourceBudget(
+            alpha=self._alpha,
+            graph_size=self._graph.size(),
+            visit_coefficient=coefficient,
+        )
+
+    def _guard(self, pattern: GraphPattern, personalized_match: NodeId) -> SimulationGuard:
+        return SimulationGuard(pattern, self._graph, personalized_match, self._index)
+
+    def _resolve_personalized(self, pattern: GraphPattern, personalized_match: Optional[NodeId]) -> Optional[NodeId]:
+        """Return the data node pinned to ``up``.
+
+        When ``allow_unanchored`` is set and no match is supplied, the node
+        with the pattern's personalized label is used if unique; otherwise the
+        highest-degree node carrying the most selective pattern label seeds
+        the reduction (future-work extension of the paper's conclusion).
+        """
+        if personalized_match is not None:
+            return personalized_match if personalized_match in self._graph else None
+        if not self._config.allow_unanchored:
+            return None
+        labels = [pattern.label_of(node) for node in pattern.nodes() if node != pattern.personalized]
+        if not labels:
+            return None
+        candidates: Set[NodeId] = set()
+        for label in labels:
+            candidates |= {node for node in self._graph.nodes() if self._graph.label(node) == label}
+        if not candidates:
+            return None
+        return max(candidates, key=lambda node: (self._graph.degree(node), repr(node)))
+
+    def reduce(self, pattern: GraphPattern, personalized_match: NodeId) -> ReductionResult:
+        """Run only the dynamic-reduction step and return ``G_Q``."""
+        pattern.validate()
+        budget = self._make_budget()
+        reducer = DynamicReducer(
+            pattern=pattern,
+            graph=self._graph,
+            personalized_match=personalized_match,
+            guard=self._guard(pattern, personalized_match),
+            budget=budget,
+            neighborhood_index=self._index,
+            initial_bound=self._config.initial_bound,
+            max_passes=self._config.max_passes,
+            use_weights=self._config.use_weights,
+            use_guard=self._config.use_guard,
+            max_depth=pattern.diameter(),
+        )
+        return reducer.search()
+
+    def answer(self, pattern: GraphPattern, personalized_match: Optional[NodeId] = None) -> PatternAnswer:
+        """Algorithm ``RBSim``: reduce to ``G_Q`` and return ``Q(G_Q)``."""
+        resolved = self._resolve_personalized(pattern, personalized_match)
+        if resolved is None:
+            return PatternAnswer(answer=set(), subgraph=DiGraph())
+        reduction = self.reduce(pattern, resolved)
+        answer = match_in_subgraph(pattern, reduction.subgraph, resolved)
+        return PatternAnswer(
+            answer=answer,
+            subgraph=reduction.subgraph,
+            budget=reduction.budget,
+            reduction=reduction,
+        )
+
+
+def rbsim(
+    pattern: GraphPattern,
+    graph: DiGraph,
+    personalized_match: NodeId,
+    alpha: float,
+    config: Optional[RBSimConfig] = None,
+) -> PatternAnswer:
+    """One-shot convenience wrapper around :class:`RBSim`."""
+    return RBSim(graph, alpha, config=config).answer(pattern, personalized_match)

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch every failure raised by this package with a single ``except``
+clause while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs or illegal graph operations."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """Raised when a node referenced by an operation does not exist."""
+
+    def __init__(self, node: object):
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an edge referenced by an operation does not exist."""
+
+    def __init__(self, source: object, target: object):
+        super().__init__(f"edge ({source!r}, {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class PatternError(ReproError):
+    """Raised for malformed graph patterns."""
+
+
+class BudgetError(ReproError):
+    """Raised when a resource budget is configured or used incorrectly."""
+
+
+class BudgetExhaustedError(BudgetError):
+    """Raised when an algorithm attempts to exceed its resource budget.
+
+    Resource-bounded algorithms normally stop gracefully when the budget is
+    reached; this exception only signals programming errors where a charge is
+    attempted after exhaustion was already observed.
+    """
+
+
+class IndexBuildError(ReproError):
+    """Raised when an auxiliary index (e.g. the landmark index) cannot be built."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload or dataset specification is invalid."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment configuration is invalid."""

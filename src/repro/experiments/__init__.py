@@ -1,0 +1,48 @@
+"""Experiment drivers that regenerate every table and figure of Section 6."""
+
+from repro.experiments import ablations, patterns, reachability
+from repro.experiments.ablations import AblationRow, rbreach_hierarchy, rbsim_mechanisms
+from repro.experiments.harness import (
+    FULL,
+    QUICK,
+    ScaleProfile,
+    available_experiments,
+    profile,
+    run_all,
+    run_experiment,
+)
+from repro.experiments.persistence import load_results, save_results
+from repro.experiments.records import ExperimentResult, PatternRow, ReachabilityRow
+from repro.experiments.reporting import (
+    format_many,
+    format_result,
+    format_table,
+    print_result,
+    summary_claims,
+)
+
+__all__ = [
+    "ablations",
+    "patterns",
+    "reachability",
+    "AblationRow",
+    "rbreach_hierarchy",
+    "rbsim_mechanisms",
+    "load_results",
+    "save_results",
+    "FULL",
+    "QUICK",
+    "ScaleProfile",
+    "available_experiments",
+    "profile",
+    "run_all",
+    "run_experiment",
+    "ExperimentResult",
+    "PatternRow",
+    "ReachabilityRow",
+    "format_many",
+    "format_result",
+    "format_table",
+    "print_result",
+    "summary_claims",
+]

@@ -1,0 +1,76 @@
+"""Persistence of experiment results as JSON.
+
+Full-scale experiment runs take minutes; saving their row data lets the
+reporting layer (and EXPERIMENTS.md) be regenerated without re-running, and
+lets successive runs be compared for regressions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.exceptions import ExperimentError
+from repro.experiments.records import ExperimentResult, PatternRow, ReachabilityRow
+
+PathLike = Union[str, Path]
+
+_ROW_TYPES = {
+    "PatternRow": PatternRow,
+    "ReachabilityRow": ReachabilityRow,
+}
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, object]:
+    """JSON-serialisable representation of one experiment result."""
+    rows = []
+    for row in result.rows:
+        row_type = type(row).__name__
+        if row_type not in _ROW_TYPES:
+            raise ExperimentError(f"cannot serialise rows of type {row_type}")
+        rows.append({"type": row_type, "data": asdict(row)})
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "notes": result.notes,
+        "rows": rows,
+    }
+
+
+def result_from_dict(document: Dict[str, object]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` output."""
+    try:
+        rows = []
+        for entry in document.get("rows", []):
+            row_class = _ROW_TYPES.get(entry["type"])
+            if row_class is None:
+                raise ExperimentError(f"unknown row type {entry['type']!r}")
+            rows.append(row_class(**entry["data"]))
+        return ExperimentResult(
+            experiment_id=str(document["experiment_id"]),
+            title=str(document.get("title", "")),
+            rows=rows,
+            notes=document.get("notes"),
+        )
+    except KeyError as error:
+        raise ExperimentError(f"malformed experiment document: missing {error}") from None
+
+
+def save_results(results: List[ExperimentResult], path: PathLike) -> None:
+    """Write a list of experiment results to a JSON file."""
+    path = Path(path)
+    payload = {"format": "repro-experiments", "version": 1, "results": [result_to_dict(r) for r in results]}
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_results(path: PathLike) -> List[ExperimentResult]:
+    """Load experiment results written by :func:`save_results`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "repro-experiments":
+        raise ExperimentError(f"{path} is not a repro experiment results file")
+    return [result_from_dict(entry) for entry in payload.get("results", [])]

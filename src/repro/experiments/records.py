@@ -1,0 +1,85 @@
+"""Result records shared by the experiment drivers.
+
+Every driver returns a list of plain dataclass rows so that the reporting
+layer, the benchmark harness and the tests can all consume the same objects
+without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class PatternRow:
+    """One point of a pattern-query experiment (one x-value, averaged over queries).
+
+    Times are in seconds (mean per query); accuracies are F-measures in
+    [0, 1].  ``reduction_ratio`` is ``|G_Q| / |G_dQ(vp)|`` — the Table 2
+    quantity; ``budget_ratio`` is ``alpha * |G| / |G_dQ(vp)|``.
+    """
+
+    dataset: str
+    x_label: str
+    x_value: float
+    num_queries: int
+    alpha: float
+    shape: str
+    rbsim_time: float = 0.0
+    matchopt_time: float = 0.0
+    rbsub_time: float = 0.0
+    vf2opt_time: float = 0.0
+    rbsim_accuracy: float = 0.0
+    rbsub_accuracy: float = 0.0
+    reduction_ratio: float = 0.0
+    budget_ratio: float = 0.0
+    subgraph_size: float = 0.0
+    ball_size: float = 0.0
+    rbsim_speedup: float = 0.0
+    rbsub_speedup: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Dictionary form (used by the text reporter)."""
+        return asdict(self)
+
+
+@dataclass
+class ReachabilityRow:
+    """One point of a reachability experiment (one x-value, over a query batch)."""
+
+    dataset: str
+    x_label: str
+    x_value: float
+    num_queries: int
+    alpha: float
+    rbreach_time: float = 0.0
+    bfs_time: float = 0.0
+    bfsopt_time: float = 0.0
+    lm_time: float = 0.0
+    rbreach_accuracy: float = 0.0
+    bfs_accuracy: float = 1.0
+    lm_accuracy: float = 0.0
+    rbreach_false_positives: int = 0
+    index_size: int = 0
+    index_build_time: float = 0.0
+    rbreach_speedup_vs_bfs: float = 0.0
+    rbreach_speedup_vs_bfsopt: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Dictionary form (used by the text reporter)."""
+        return asdict(self)
+
+
+@dataclass
+class ExperimentResult:
+    """A named experiment (one figure or table) and its rows."""
+
+    experiment_id: str
+    title: str
+    rows: List[object] = field(default_factory=list)
+    notes: Optional[str] = None
+
+    def row_dicts(self) -> List[Dict[str, object]]:
+        """Rows as dictionaries, in order."""
+        return [row.as_dict() for row in self.rows]

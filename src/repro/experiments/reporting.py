@@ -1,0 +1,145 @@
+"""Plain-text reporting of experiment results.
+
+The paper reports figures (time / accuracy series) and one table.  This
+module renders :class:`ExperimentResult` objects as aligned text tables so
+that a terminal run of the harness shows the same rows/series the paper
+plots, ready to be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.ablations import ABLATION_COLUMNS, AblationRow
+from repro.experiments.records import ExperimentResult, PatternRow, ReachabilityRow
+
+PATTERN_COLUMNS: List[str] = [
+    "dataset",
+    "x_label",
+    "x_value",
+    "alpha",
+    "shape",
+    "rbsim_time",
+    "matchopt_time",
+    "rbsub_time",
+    "vf2opt_time",
+    "rbsim_accuracy",
+    "rbsub_accuracy",
+    "reduction_ratio",
+    "budget_ratio",
+]
+
+REACHABILITY_COLUMNS: List[str] = [
+    "dataset",
+    "x_label",
+    "x_value",
+    "alpha",
+    "rbreach_time",
+    "bfs_time",
+    "bfsopt_time",
+    "lm_time",
+    "rbreach_accuracy",
+    "lm_accuracy",
+    "rbreach_false_positives",
+    "index_size",
+]
+
+
+def _format_value(value: object) -> str:
+    """Human-readable cell: floats get 6 significant digits, rest is str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.0001:
+            return f"{value:.3e}"
+        return f"{value:.5f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Render dictionaries as an aligned text table with a header line."""
+    if not rows:
+        return "(no rows)"
+    header = list(columns)
+    body = [[_format_value(row.get(column, "")) for column in header] for row in rows]
+    widths = [
+        max(len(header[i]), max(len(line[i]) for line in body)) for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def columns_for(result: ExperimentResult) -> List[str]:
+    """Pick the column set matching the result's row type."""
+    if result.rows and isinstance(result.rows[0], ReachabilityRow):
+        return REACHABILITY_COLUMNS
+    if result.rows and isinstance(result.rows[0], AblationRow):
+        return ABLATION_COLUMNS
+    return PATTERN_COLUMNS
+
+
+def format_result(result: ExperimentResult, columns: Optional[Sequence[str]] = None) -> str:
+    """Render one experiment: a title banner plus the row table."""
+    columns = list(columns) if columns is not None else columns_for(result)
+    banner = f"== {result.experiment_id}: {result.title} =="
+    table = format_table(result.row_dicts(), columns)
+    parts = [banner, table]
+    if result.notes:
+        parts.append(f"note: {result.notes}")
+    return "\n".join(parts)
+
+
+def print_result(result: ExperimentResult, columns: Optional[Sequence[str]] = None) -> None:
+    """Print one experiment to stdout."""
+    print(format_result(result, columns))
+    print()
+
+
+def format_many(results: Iterable[ExperimentResult]) -> str:
+    """Render several experiments separated by blank lines."""
+    return "\n\n".join(format_result(result) for result in results)
+
+
+def summary_claims(results: Iterable[ExperimentResult]) -> List[str]:
+    """Derive the paper's headline claims from measured rows (for EXPERIMENTS.md).
+
+    Produces short sentences such as average speedups and best accuracies so
+    that paper-vs-measured comparisons do not require reading every row.
+    """
+    claims: List[str] = []
+    for result in results:
+        rows = result.rows
+        if not rows:
+            continue
+        if isinstance(rows[0], PatternRow):
+            speedups = [row.rbsim_speedup for row in rows if row.rbsim_speedup > 0]
+            sub_speedups = [row.rbsub_speedup for row in rows if row.rbsub_speedup > 0]
+            accuracies = [row.rbsim_accuracy for row in rows]
+            claims.append(
+                f"{result.experiment_id}: RBSim mean speedup over MatchOpt "
+                f"{sum(speedups)/len(speedups):.1f}x, RBSub over VF2OPT "
+                f"{(sum(sub_speedups)/len(sub_speedups)) if sub_speedups else 0:.1f}x, "
+                f"RBSim accuracy {min(accuracies):.2f}-{max(accuracies):.2f}"
+            )
+        elif isinstance(rows[0], ReachabilityRow):
+            speedups = [row.rbreach_speedup_vs_bfs for row in rows if row.rbreach_speedup_vs_bfs > 0]
+            opt_speedups = [
+                row.rbreach_speedup_vs_bfsopt for row in rows if row.rbreach_speedup_vs_bfsopt > 0
+            ]
+            accuracies = [row.rbreach_accuracy for row in rows]
+            false_positives = sum(row.rbreach_false_positives for row in rows)
+            claims.append(
+                f"{result.experiment_id}: RBReach mean speedup over BFS "
+                f"{(sum(speedups)/len(speedups)) if speedups else 0:.1f}x, over BFSOpt "
+                f"{(sum(opt_speedups)/len(opt_speedups)) if opt_speedups else 0:.1f}x, "
+                f"accuracy {min(accuracies):.2f}-{max(accuracies):.2f}, "
+                f"false positives {false_positives}"
+            )
+    return claims

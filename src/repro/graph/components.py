@@ -1,0 +1,145 @@
+"""Strongly connected components and DAG condensation.
+
+The non-localized part of the paper (Section 5) first reduces a possibly
+cyclic graph ``G`` to a DAG using a reachability-preserving compression.  The
+canonical such compression is the SCC condensation: contract every strongly
+connected component to a single node.  Two nodes are reachability-equivalent
+with their component representatives, so every reachability query on ``G``
+has the same answer on the condensation — exactly the property ``RBReach``
+needs (see DESIGN.md, substitutions table).
+
+Tarjan's algorithm is implemented iteratively to cope with deep graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Set, Tuple
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.digraph import DiGraph, NodeId
+
+
+def strongly_connected_components(graph: DiGraph) -> List[Set[NodeId]]:
+    """Return the strongly connected components of ``graph``.
+
+    Uses an iterative Tarjan algorithm; components are returned in reverse
+    topological order of the condensation (i.e. a component appears after all
+    components it can reach), which is a convenient order for DP over DAGs.
+    """
+    index_counter = 0
+    indices: Dict[NodeId, int] = {}
+    lowlinks: Dict[NodeId, int] = {}
+    on_stack: Set[NodeId] = set()
+    stack: List[NodeId] = []
+    components: List[Set[NodeId]] = []
+
+    for root in graph.nodes():
+        if root in indices:
+            continue
+        # Each work item is (node, iterator over successors).
+        work: List[Tuple[NodeId, List[NodeId], int]] = [(root, list(graph.successors(root)), 0)]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children, child_pos = work.pop()
+            advanced = False
+            while child_pos < len(children):
+                child = children[child_pos]
+                child_pos += 1
+                if child not in indices:
+                    indices[child] = lowlinks[child] = index_counter
+                    index_counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((node, children, child_pos))
+                    work.append((child, list(graph.successors(child)), 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[child])
+            if advanced:
+                continue
+            if lowlinks[node] == indices[node]:
+                component: Set[NodeId] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+    return components
+
+
+def is_dag(graph: DiGraph) -> bool:
+    """Whether ``graph`` contains no directed cycle (self-loops count as cycles)."""
+    for source, target in graph.edges():
+        if source == target:
+            return False
+    return all(len(component) == 1 for component in strongly_connected_components(graph))
+
+
+@dataclass
+class Condensation:
+    """The reachability-preserving DAG condensation of a graph.
+
+    Attributes
+    ----------
+    dag:
+        The condensed graph.  Each node is an integer component id; its label
+        is the label of an arbitrary member of the component (labels play no
+        role in reachability).
+    membership:
+        Maps every original node to its component id.
+    members:
+        Maps every component id to the set of original nodes it contains.
+    """
+
+    dag: DiGraph
+    membership: Mapping[NodeId, int]
+    members: Mapping[int, Set[NodeId]]
+
+    def component_of(self, node: NodeId) -> int:
+        """Component id of an original node."""
+        try:
+            return self.membership[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def compression_ratio(self, original: DiGraph) -> float:
+        """|condensation| / |G| — how much the compression shrank the graph."""
+        original_size = original.size()
+        if original_size == 0:
+            return 1.0
+        return self.dag.size() / original_size
+
+
+def condensation(graph: DiGraph) -> Condensation:
+    """Contract every SCC of ``graph`` to a node, preserving reachability.
+
+    For any two original nodes ``u`` and ``v``, ``u`` reaches ``v`` in ``G``
+    if and only if ``component_of(u)`` reaches ``component_of(v)`` in the
+    returned DAG (with equality counting as reachable).
+    """
+    components = strongly_connected_components(graph)
+    membership: Dict[NodeId, int] = {}
+    members: Dict[int, Set[NodeId]] = {}
+    dag = DiGraph()
+    for component_id, component in enumerate(components):
+        members[component_id] = component
+        representative = next(iter(component))
+        dag.add_node(component_id, graph.label(representative))
+        for node in component:
+            membership[node] = component_id
+    for source, target in graph.edges():
+        source_id = membership[source]
+        target_id = membership[target]
+        if source_id != target_id:
+            dag.add_edge(source_id, target_id)
+    return Condensation(dag=dag, membership=membership, members=members)

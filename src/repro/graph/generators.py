@@ -1,0 +1,256 @@
+"""Synthetic graph generators.
+
+The paper evaluates on two real graphs (Youtube, Yahoo web) and on synthetic
+graphs produced by "a generator ... controlled by the numbers of nodes |V|
+and edges |E|, for L from a set Σ of 15 labels".  The reproduction cannot
+ship the proprietary crawls, so it provides:
+
+* :func:`random_graph` — the paper's synthetic generator (uniform random
+  edges, |E| chosen by the caller, labels drawn from an alphabet);
+* :func:`preferential_attachment_graph` — a scale-free generator used to
+  build the Youtube/Yahoo surrogates (skewed degrees, small diameter);
+* :func:`community_graph` — a planted-community social graph used by the
+  examples (hiking group / cycling club / cycling lovers of Example 1);
+* :func:`layered_dag` — DAGs with controllable depth for reachability tests.
+
+All generators take a seed and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, Optional, Sequence
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph, Label
+
+DEFAULT_ALPHABET: List[str] = list(string.ascii_uppercase[:15])
+"""The paper's Σ of 15 labels (named A..O here)."""
+
+
+def _label_for(rng: random.Random, alphabet: Sequence[Label], skew: float) -> Label:
+    """Draw a label; ``skew`` > 0 makes low-index labels proportionally more common."""
+    if skew <= 0:
+        return rng.choice(list(alphabet))
+    weights = [1.0 / ((index + 1) ** skew) for index in range(len(alphabet))]
+    return rng.choices(list(alphabet), weights=weights, k=1)[0]
+
+
+def random_graph(
+    num_nodes: int,
+    num_edges: int,
+    alphabet: Optional[Sequence[Label]] = None,
+    seed: int = 0,
+    label_skew: float = 0.0,
+) -> DiGraph:
+    """Uniform random directed graph — the paper's synthetic generator.
+
+    ``num_edges`` distinct directed edges (no self loops) are sampled
+    uniformly.  Requesting more edges than ``n*(n-1)`` raises
+    :class:`GraphError`.
+    """
+    if num_nodes < 0 or num_edges < 0:
+        raise GraphError("num_nodes and num_edges must be non-negative")
+    if num_nodes > 1 and num_edges > num_nodes * (num_nodes - 1):
+        raise GraphError("requested more edges than a simple digraph can hold")
+    if num_nodes <= 1 and num_edges > 0:
+        raise GraphError("cannot place edges in a graph with fewer than 2 nodes")
+    rng = random.Random(seed)
+    alphabet = list(alphabet or DEFAULT_ALPHABET)
+    graph = DiGraph()
+    for node in range(num_nodes):
+        graph.add_node(node, _label_for(rng, alphabet, label_skew))
+    placed = 0
+    while placed < num_edges:
+        source = rng.randrange(num_nodes)
+        target = rng.randrange(num_nodes)
+        if source == target:
+            continue
+        if graph.add_edge(source, target):
+            placed += 1
+    return graph
+
+
+def preferential_attachment_graph(
+    num_nodes: int,
+    edges_per_node: int = 3,
+    alphabet: Optional[Sequence[Label]] = None,
+    seed: int = 0,
+    label_skew: float = 1.0,
+    back_edge_probability: float = 0.25,
+) -> DiGraph:
+    """Directed scale-free graph grown by preferential attachment.
+
+    Every new node attaches ``edges_per_node`` out-edges to existing nodes,
+    chosen proportionally to their current degree (plus one), producing the
+    heavy-tailed degree distribution typical of social and web graphs.  With
+    probability ``back_edge_probability`` an extra reverse edge is added so
+    that the graph contains cycles, like real social graphs.
+    """
+    if num_nodes <= 0:
+        raise GraphError("num_nodes must be positive")
+    rng = random.Random(seed)
+    alphabet = list(alphabet or DEFAULT_ALPHABET)
+    graph = DiGraph()
+    # ``targets`` is a degree-weighted multiset of attachment candidates.
+    targets: List[int] = []
+    for node in range(num_nodes):
+        graph.add_node(node, _label_for(rng, alphabet, label_skew))
+        if node == 0:
+            targets.append(0)
+            continue
+        attachments = min(edges_per_node, node)
+        chosen = set()
+        while len(chosen) < attachments:
+            candidate = rng.choice(targets)
+            chosen.add(candidate)
+        for target in chosen:
+            graph.add_edge(node, target)
+            targets.append(target)
+            if rng.random() < back_edge_probability:
+                graph.add_edge(target, node)
+        targets.append(node)
+    return graph
+
+
+def community_graph(
+    communities: Sequence[int],
+    intra_probability: float = 0.15,
+    inter_edges: int = 2,
+    alphabet: Optional[Sequence[Label]] = None,
+    seed: int = 0,
+) -> DiGraph:
+    """Planted-community graph: dense groups, sparse links between groups.
+
+    ``communities`` gives the size of each group.  Each group gets its own
+    label (cycling through the alphabet), every intra-group pair gets an edge
+    with probability ``intra_probability``, and every node additionally sends
+    ``inter_edges`` edges to random members of other groups.  This mirrors
+    the social groups (HG, CC, CL) of the paper's running example.
+    """
+    rng = random.Random(seed)
+    alphabet = list(alphabet or DEFAULT_ALPHABET)
+    graph = DiGraph()
+    group_members: List[List[int]] = []
+    next_id = 0
+    for group_index, size in enumerate(communities):
+        label = alphabet[group_index % len(alphabet)]
+        members = []
+        for _ in range(size):
+            graph.add_node(next_id, label)
+            members.append(next_id)
+            next_id += 1
+        group_members.append(members)
+    for members in group_members:
+        for source in members:
+            for target in members:
+                if source != target and rng.random() < intra_probability:
+                    graph.add_edge(source, target)
+    all_nodes = [node for members in group_members for node in members]
+    for group_index, members in enumerate(group_members):
+        others = [node for other_index, other in enumerate(group_members) if other_index != group_index for node in other]
+        if not others:
+            continue
+        for source in members:
+            for _ in range(inter_edges):
+                graph.add_edge(source, rng.choice(others))
+    # Guarantee weak connectivity by chaining one representative per group.
+    for previous, current in zip(group_members, group_members[1:]):
+        graph.add_edge(previous[0], current[0])
+    if not all_nodes:
+        raise GraphError("communities must contain at least one non-empty group")
+    return graph
+
+
+def layered_dag(
+    layers: int,
+    width: int,
+    forward_probability: float = 0.3,
+    skip_probability: float = 0.05,
+    alphabet: Optional[Sequence[Label]] = None,
+    seed: int = 0,
+) -> DiGraph:
+    """A DAG arranged in layers, edges only go to later layers.
+
+    Useful for reachability experiments where the depth (and hence the
+    landmark hierarchy) must be controlled.  Each node connects to next-layer
+    nodes with ``forward_probability`` and to any later layer with
+    ``skip_probability``.
+    """
+    if layers <= 0 or width <= 0:
+        raise GraphError("layers and width must be positive")
+    rng = random.Random(seed)
+    alphabet = list(alphabet or DEFAULT_ALPHABET)
+    graph = DiGraph()
+    node_id = 0
+    layout: List[List[int]] = []
+    for layer in range(layers):
+        row = []
+        for _ in range(width):
+            graph.add_node(node_id, _label_for(rng, alphabet, 0.5))
+            row.append(node_id)
+            node_id += 1
+        layout.append(row)
+    for layer_index, row in enumerate(layout[:-1]):
+        next_row = layout[layer_index + 1]
+        for source in row:
+            connected = False
+            for target in next_row:
+                if rng.random() < forward_probability:
+                    graph.add_edge(source, target)
+                    connected = True
+            if not connected:
+                graph.add_edge(source, rng.choice(next_row))
+            for later_row in layout[layer_index + 2 :]:
+                for target in later_row:
+                    if rng.random() < skip_probability:
+                        graph.add_edge(source, target)
+    return graph
+
+
+def path_graph(length: int, label: Label = "P") -> DiGraph:
+    """A simple directed path 0 → 1 → ... → length (length + 1 nodes)."""
+    graph = DiGraph()
+    for node in range(length + 1):
+        graph.add_node(node, label)
+    for node in range(length):
+        graph.add_edge(node, node + 1)
+    return graph
+
+
+def cycle_graph(length: int, label: Label = "C") -> DiGraph:
+    """A directed cycle with ``length`` nodes (length >= 1)."""
+    if length < 1:
+        raise GraphError("cycle length must be at least 1")
+    graph = DiGraph()
+    for node in range(length):
+        graph.add_node(node, label)
+    for node in range(length):
+        graph.add_edge(node, (node + 1) % length)
+    return graph
+
+
+def star_graph(leaves: int, center_label: Label = "HUB", leaf_label: Label = "LEAF") -> DiGraph:
+    """A star: one centre with out-edges to ``leaves`` leaf nodes."""
+    graph = DiGraph()
+    graph.add_node(0, center_label)
+    for leaf in range(1, leaves + 1):
+        graph.add_node(leaf, leaf_label)
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def complete_bipartite_graph(
+    left: int, right: int, left_label: Label = "L", right_label: Label = "R"
+) -> DiGraph:
+    """All edges from a left part of size ``left`` to a right part of size ``right``."""
+    graph = DiGraph()
+    for node in range(left):
+        graph.add_node(("l", node), left_label)
+    for node in range(right):
+        graph.add_node(("r", node), right_label)
+    for source in range(left):
+        for target in range(right):
+            graph.add_edge(("l", source), ("r", target))
+    return graph

@@ -1,0 +1,130 @@
+"""Serialisation of data graphs.
+
+Two formats are supported:
+
+* **edge-list text** — one ``source<TAB>target`` pair per line with an
+  accompanying ``.labels`` file of ``node<TAB>label`` lines; this matches the
+  format the original Youtube/Yahoo crawls ship in, so users with access to
+  the real datasets can load them directly;
+* **JSON** — a single self-contained document, convenient for examples and
+  test fixtures.
+
+Node identifiers are written as strings; integer-looking identifiers are
+converted back to ``int`` on load so generated graphs round-trip unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph, NodeId
+
+PathLike = Union[str, Path]
+
+
+def _parse_node(token: str) -> NodeId:
+    """Convert a serialised node id back to int when it looks numeric."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def write_edge_list(graph: DiGraph, path: PathLike, labels_path: Optional[PathLike] = None) -> None:
+    """Write ``graph`` as a tab-separated edge list plus a label file.
+
+    ``labels_path`` defaults to ``<path>.labels``.
+    """
+    path = Path(path)
+    labels_path = Path(labels_path) if labels_path is not None else path.with_suffix(path.suffix + ".labels")
+    with path.open("w", encoding="utf-8") as handle:
+        for source, target in sorted(graph.edges(), key=lambda edge: (str(edge[0]), str(edge[1]))):
+            handle.write(f"{source}\t{target}\n")
+    with labels_path.open("w", encoding="utf-8") as handle:
+        for node in sorted(graph.nodes(), key=str):
+            handle.write(f"{node}\t{graph.label(node)}\n")
+
+
+def read_edge_list(path: PathLike, labels_path: Optional[PathLike] = None, default_label: str = "") -> DiGraph:
+    """Read a graph written by :func:`write_edge_list` (or any edge-list crawl).
+
+    Lines that are empty or start with ``#`` are ignored.  When no label file
+    exists every node receives ``default_label``.
+    """
+    path = Path(path)
+    labels_path = Path(labels_path) if labels_path is not None else path.with_suffix(path.suffix + ".labels")
+    labels: Dict[NodeId, str] = {}
+    if labels_path.exists():
+        with labels_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split("\t")
+                if len(parts) != 2:
+                    raise GraphError(f"malformed label line: {line!r}")
+                labels[_parse_node(parts[0])] = parts[1]
+    graph = DiGraph()
+    for node, label in labels.items():
+        graph.add_node(node, label)
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise GraphError(f"malformed edge line: {line!r}")
+            source, target = _parse_node(parts[0]), _parse_node(parts[1])
+            if source not in graph:
+                graph.add_node(source, labels.get(source, default_label))
+            if target not in graph:
+                graph.add_node(target, labels.get(target, default_label))
+            graph.add_edge(source, target)
+    return graph
+
+
+def to_json_dict(graph: DiGraph) -> Dict[str, object]:
+    """Return a JSON-serialisable dictionary representation of ``graph``."""
+    return {
+        "format": "repro-digraph",
+        "version": 1,
+        "nodes": [{"id": str(node), "label": str(graph.label(node))} for node in sorted(graph.nodes(), key=str)],
+        "edges": [
+            {"source": str(source), "target": str(target)}
+            for source, target in sorted(graph.edges(), key=lambda edge: (str(edge[0]), str(edge[1])))
+        ],
+    }
+
+
+def from_json_dict(document: Dict[str, object]) -> DiGraph:
+    """Rebuild a graph from :func:`to_json_dict` output."""
+    if document.get("format") != "repro-digraph":
+        raise GraphError("document is not a repro-digraph JSON payload")
+    graph = DiGraph()
+    for node_entry in document.get("nodes", []):
+        graph.add_node(_parse_node(str(node_entry["id"])), node_entry.get("label", ""))
+    for edge_entry in document.get("edges", []):
+        source = _parse_node(str(edge_entry["source"]))
+        target = _parse_node(str(edge_entry["target"]))
+        if source not in graph or target not in graph:
+            raise GraphError(f"edge references undeclared node: {edge_entry!r}")
+        graph.add_edge(source, target)
+    return graph
+
+
+def write_json(graph: DiGraph, path: PathLike) -> None:
+    """Serialise ``graph`` to a JSON file."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(to_json_dict(graph), handle, indent=2)
+
+
+def read_json(path: PathLike) -> DiGraph:
+    """Load a graph from a JSON file produced by :func:`write_json`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return from_json_dict(json.load(handle))

@@ -1,0 +1,173 @@
+"""Graph-level statistics and label indexing.
+
+These helpers back three needs of the reproduction:
+
+* the experiment harness reports dataset profiles (degree distribution,
+  label histogram, density) so that EXPERIMENTS.md can document the
+  surrogate datasets;
+* the matching algorithms need a label → nodes index to seed candidate sets;
+* the accuracy bound of Theorem 3 uses aggregate quantities (``d_G``, ``f``,
+  number of labels) that are computed here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Set, Tuple
+
+from repro.graph.digraph import DiGraph, Label, NodeId
+
+
+class LabelIndex:
+    """Inverted index from label to the set of nodes carrying it."""
+
+    def __init__(self, graph: DiGraph):
+        self._graph = graph
+        self._by_label: Dict[Label, Set[NodeId]] = {}
+        for node in graph.nodes():
+            self._by_label.setdefault(graph.label(node), set()).add(node)
+
+    @property
+    def graph(self) -> DiGraph:
+        """The indexed graph."""
+        return self._graph
+
+    def nodes_with(self, label: Label) -> Set[NodeId]:
+        """All nodes labelled ``label`` (empty set when unused)."""
+        return set(self._by_label.get(label, set()))
+
+    def count(self, label: Label) -> int:
+        """Number of nodes labelled ``label``."""
+        return len(self._by_label.get(label, ()))
+
+    def labels(self) -> Set[Label]:
+        """All labels occurring in the graph."""
+        return set(self._by_label)
+
+    def rarest_label(self, labels: List[Label]) -> Label:
+        """Of the given labels, the one with the fewest occurrences.
+
+        Useful to pick selective seeds for unanchored pattern search.
+        """
+        if not labels:
+            raise ValueError("labels must be non-empty")
+        return min(labels, key=self.count)
+
+
+def degree_histogram(graph: DiGraph) -> Dict[int, int]:
+    """Map degree value → number of nodes with that degree."""
+    histogram: Counter = Counter()
+    for node in graph.nodes():
+        histogram[graph.degree(node)] += 1
+    return dict(histogram)
+
+
+def label_histogram(graph: DiGraph) -> Dict[Label, int]:
+    """Map label → number of nodes carrying it."""
+    histogram: Counter = Counter()
+    for node in graph.nodes():
+        histogram[graph.label(node)] += 1
+    return dict(histogram)
+
+
+def average_degree(graph: DiGraph) -> float:
+    """Average out-degree, i.e. |E| / |V| (0.0 for empty graphs)."""
+    if graph.num_nodes() == 0:
+        return 0.0
+    return graph.num_edges() / graph.num_nodes()
+
+
+def density(graph: DiGraph) -> float:
+    """|E| / (|V| * (|V| - 1)) — fraction of possible directed edges present."""
+    nodes = graph.num_nodes()
+    if nodes < 2:
+        return 0.0
+    return graph.num_edges() / (nodes * (nodes - 1))
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """A compact summary of a data graph for dataset documentation."""
+
+    num_nodes: int
+    num_edges: int
+    size: int
+    num_labels: int
+    max_degree: int
+    average_degree: float
+    density: float
+
+    def as_row(self) -> Tuple[int, int, int, int, int, float, float]:
+        """Return the profile as a plain tuple for table printing."""
+        return (
+            self.num_nodes,
+            self.num_edges,
+            self.size,
+            self.num_labels,
+            self.max_degree,
+            round(self.average_degree, 3),
+            round(self.density, 6),
+        )
+
+
+def profile(graph: DiGraph) -> GraphProfile:
+    """Compute a :class:`GraphProfile` for ``graph``."""
+    return GraphProfile(
+        num_nodes=graph.num_nodes(),
+        num_edges=graph.num_edges(),
+        size=graph.size(),
+        num_labels=len(graph.distinct_labels()),
+        max_degree=graph.max_degree(),
+        average_degree=average_degree(graph),
+        density=density(graph),
+    )
+
+
+def top_degree_nodes(graph: DiGraph, count: int) -> List[NodeId]:
+    """The ``count`` highest-degree nodes, ties broken by node id repr."""
+    return sorted(graph.nodes(), key=lambda node: (-graph.degree(node), repr(node)))[:count]
+
+
+def label_cooccurrence(graph: DiGraph) -> Dict[Tuple[Label, Label], int]:
+    """Count directed label pairs over edges: (L(u), L(v)) for each edge (u, v).
+
+    Used by the pattern generator to produce patterns whose label structure
+    actually occurs in the data graph (otherwise most queries are empty and
+    accuracy comparisons are vacuous).
+    """
+    counts: Counter = Counter()
+    for source, target in graph.edges():
+        counts[(graph.label(source), graph.label(target))] += 1
+    return dict(counts)
+
+
+def maximum_label_fanout(graph: DiGraph) -> int:
+    """Graph-wide version of the paper's ``f`` parameter.
+
+    The maximum, over all nodes ``v`` and labels ``l``, of the number of
+    children (or parents) of ``v`` labelled ``l``.
+    """
+    best = 0
+    for node in graph.nodes():
+        child_counts: Counter = Counter(graph.label(child) for child in graph.successors(node))
+        parent_counts: Counter = Counter(graph.label(parent) for parent in graph.predecessors(node))
+        if child_counts:
+            best = max(best, max(child_counts.values()))
+        if parent_counts:
+            best = max(best, max(parent_counts.values()))
+    return best
+
+
+def summarize_for_report(graph: DiGraph, name: str) -> Mapping[str, object]:
+    """Dictionary form of a dataset profile used by the experiment reports."""
+    stats = profile(graph)
+    return {
+        "dataset": name,
+        "nodes": stats.num_nodes,
+        "edges": stats.num_edges,
+        "size": stats.size,
+        "labels": stats.num_labels,
+        "max_degree": stats.max_degree,
+        "avg_degree": round(stats.average_degree, 3),
+    }

@@ -1,0 +1,160 @@
+"""Topological orderings and topological ranks on DAGs.
+
+Section 5.1 of the paper defines, for a DAG, the *topological rank* ``v.r``
+of a node: 0 for sinks (no children), otherwise one more than the largest
+rank among its children.  Ranks drive both the greedy landmark selection
+(``(deg * rank) / (L * D)``) and the guarded condition of ``RBReach``
+(a landmark subtree whose topological range cannot straddle the query
+endpoints is pruned, Lemma 5(2)).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph, NodeId
+
+
+def topological_sort(graph: DiGraph) -> List[NodeId]:
+    """Kahn's algorithm; raises :class:`GraphError` if the graph has a cycle.
+
+    The returned order lists every node before all of its successors.
+    """
+    in_degree: Dict[NodeId, int] = {node: graph.in_degree(node) for node in graph.nodes()}
+    queue: deque = deque(node for node, degree in in_degree.items() if degree == 0)
+    order: List[NodeId] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for child in graph.successors(node):
+            in_degree[child] -= 1
+            if in_degree[child] == 0:
+                queue.append(child)
+    if len(order) != graph.num_nodes():
+        raise GraphError("graph contains a cycle; topological sort is undefined")
+    return order
+
+
+def topological_ranks(graph: DiGraph) -> Dict[NodeId, int]:
+    """The paper's ``v.r``: 0 for sinks, else 1 + max rank of children.
+
+    Equivalently, the length of the longest path from ``v`` to any sink.
+    Requires a DAG.
+    """
+    order = topological_sort(graph)
+    ranks: Dict[NodeId, int] = {}
+    for node in reversed(order):
+        children = graph.successors(node)
+        if not children:
+            ranks[node] = 0
+        else:
+            ranks[node] = 1 + max(ranks[child] for child in children)
+    return ranks
+
+
+def longest_path_length(graph: DiGraph) -> int:
+    """Length (in edges) of the longest path in a DAG."""
+    ranks = topological_ranks(graph)
+    return max(ranks.values()) if ranks else 0
+
+
+def topological_levels(graph: DiGraph) -> Dict[NodeId, int]:
+    """Longest distance from any source (node with no parents) to each node."""
+    order = topological_sort(graph)
+    levels: Dict[NodeId, int] = {}
+    for node in order:
+        parents = graph.predecessors(node)
+        if not parents:
+            levels[node] = 0
+        else:
+            levels[node] = 1 + max(levels[parent] for parent in parents)
+    return levels
+
+
+class TopologicalRankIndex:
+    """Precomputed topological ranks plus the normalisation constants.
+
+    The greedy landmark selection of Section 5.1 scores a node by
+    ``(v.d * v.r) / (L * D)`` where ``L`` is the maximum rank and ``D`` the
+    maximum degree in the graph.  This index bundles the three quantities so
+    callers cannot accidentally mix ranks computed on different graphs.
+    """
+
+    def __init__(self, graph: DiGraph):
+        self._graph = graph
+        self._ranks = topological_ranks(graph)
+        self._max_rank = max(self._ranks.values()) if self._ranks else 0
+        self._max_degree = graph.max_degree()
+
+    @property
+    def graph(self) -> DiGraph:
+        """The DAG this index was built for."""
+        return self._graph
+
+    @property
+    def max_rank(self) -> int:
+        """``L`` — the largest topological rank in the graph."""
+        return self._max_rank
+
+    @property
+    def max_degree(self) -> int:
+        """``D`` — the largest node degree in the graph."""
+        return self._max_degree
+
+    def rank(self, node: NodeId) -> int:
+        """``v.r`` of a node."""
+        return self._ranks[node]
+
+    def ranks(self) -> Dict[NodeId, int]:
+        """A copy of the full node → rank map."""
+        return dict(self._ranks)
+
+    def selection_score(self, node: NodeId) -> float:
+        """The greedy landmark score ``(v.d * v.r) / (L * D)``.
+
+        Falls back to the unnormalised product when the graph has rank or
+        degree 0 everywhere (e.g. single-node graphs), where the paper's
+        normalisation would divide by zero.
+        """
+        degree = self._graph.degree(node)
+        rank = self._ranks[node]
+        denominator = self._max_rank * self._max_degree
+        if denominator == 0:
+            return float(degree * rank)
+        return (degree * rank) / denominator
+
+    def range_may_cover(
+        self,
+        node_range: Tuple[int, int],
+        source_rank: int,
+        target_rank: int,
+    ) -> bool:
+        """Lemma 5(2) pruning test for RBReach.
+
+        A landmark subtree with topological range ``[r1, r2]`` can only
+        contain a landmark on a path from the query source (rank
+        ``source_rank``) to the query target (rank ``target_rank``) if the
+        range is not entirely below the target nor entirely above the source.
+        On a DAG an edge always goes from a higher-rank node to a lower-rank
+        one, so any node on a path from ``v_p`` to ``v_o`` has rank strictly
+        between ``v_o.r`` and ``v_p.r`` (inclusive at the endpoints).
+        """
+        low, high = node_range
+        if high < target_rank:
+            return False
+        if low > source_rank:
+            return False
+        return True
+
+
+def verify_rank_invariant(graph: DiGraph, ranks: Optional[Dict[NodeId, int]] = None) -> bool:
+    """Check that ranks satisfy the defining recurrence (used by tests)."""
+    ranks = topological_ranks(graph) if ranks is None else ranks
+    for node in graph.nodes():
+        children = graph.successors(node)
+        expected = 0 if not children else 1 + max(ranks[child] for child in children)
+        if ranks[node] != expected:
+            return False
+    return True

@@ -1,0 +1,21 @@
+"""Graph pattern queries: the pattern model and workload generators."""
+
+from repro.patterns.generator import embedded_pattern, pattern_workload, random_pattern
+from repro.patterns.pattern import (
+    GraphPattern,
+    QueryEdge,
+    QueryNodeId,
+    example1_pattern,
+    make_pattern,
+)
+
+__all__ = [
+    "GraphPattern",
+    "QueryEdge",
+    "QueryNodeId",
+    "example1_pattern",
+    "make_pattern",
+    "embedded_pattern",
+    "pattern_workload",
+    "random_pattern",
+]

@@ -1,0 +1,202 @@
+"""Random pattern-query workload generator (paper Section 6).
+
+The paper "generated patterns controlled by the number |Vp| of query nodes
+and the number |Ep| of query edges", with labels drawn from the data graph
+and a randomly selected personalized node and output node.
+
+Two generation modes are provided:
+
+* :func:`embedded_pattern` extracts a pattern that is *guaranteed to occur*
+  in the data graph: it samples a small connected subgraph rooted at the
+  personalized match ``vp`` and abstracts it into a pattern.  This is what
+  the experiments use so that exact answers are non-empty and accuracy is a
+  meaningful comparison (the paper selects labels from the dataset for the
+  same reason).
+* :func:`random_pattern` builds a pattern purely from the label alphabet —
+  useful for negative/stress testing, since many such queries have no match.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import PatternError, WorkloadError
+from repro.graph.digraph import DiGraph, Label, NodeId
+from repro.patterns.pattern import GraphPattern, make_pattern
+
+
+def random_pattern(
+    num_nodes: int,
+    num_edges: int,
+    alphabet: Sequence[Label],
+    seed: int = 0,
+    personalized_label: Optional[Label] = None,
+) -> GraphPattern:
+    """A random connected pattern over ``alphabet`` with the requested shape."""
+    if num_nodes < 1:
+        raise WorkloadError("a pattern needs at least one node")
+    max_edges = num_nodes * (num_nodes - 1)
+    if num_edges < num_nodes - 1 or num_edges > max_edges:
+        raise WorkloadError(
+            f"cannot build a connected simple pattern with {num_nodes} nodes and {num_edges} edges"
+        )
+    rng = random.Random(seed)
+    labels = {
+        index: (personalized_label if index == 0 and personalized_label is not None else rng.choice(list(alphabet)))
+        for index in range(num_nodes)
+    }
+    edges: List[Tuple[int, int]] = []
+    edge_set = set()
+    # Spanning tree first so the pattern is connected.
+    for node in range(1, num_nodes):
+        anchor = rng.randrange(node)
+        edge = (anchor, node) if rng.random() < 0.5 else (node, anchor)
+        edges.append(edge)
+        edge_set.add(edge)
+    while len(edges) < num_edges:
+        source = rng.randrange(num_nodes)
+        target = rng.randrange(num_nodes)
+        if source == target or (source, target) in edge_set:
+            continue
+        edges.append((source, target))
+        edge_set.add((source, target))
+    output = rng.randrange(num_nodes)
+    return make_pattern(labels, edges, personalized=0, output=output)
+
+
+def embedded_pattern(
+    graph: DiGraph,
+    num_nodes: int,
+    num_edges: int,
+    seed: int = 0,
+    personalized_node: Optional[NodeId] = None,
+    min_degree: int = 1,
+) -> Tuple[GraphPattern, NodeId]:
+    """Extract a pattern that occurs in ``graph`` around a personalized node.
+
+    Returns the pattern and the data node ``vp`` matching its personalized
+    node.  The personalized query node is labelled with a label unique to
+    ``vp`` in the procedure below: following the paper, ``up`` has a *unique*
+    match, which we model by giving ``vp`` its own distinguished label (the
+    workloads relabel ``vp`` with a fresh ``"@person:<id>"`` tag).
+
+    Raises :class:`WorkloadError` when the graph has no node whose
+    neighbourhood is large enough to host the requested shape.
+    """
+    if graph.num_nodes() == 0:
+        raise WorkloadError("cannot embed a pattern into an empty graph")
+    if num_nodes < 2:
+        raise WorkloadError("embedded patterns need at least two query nodes")
+    rng = random.Random(seed)
+
+    candidates: List[NodeId]
+    if personalized_node is not None:
+        candidates = [personalized_node]
+    else:
+        candidates = [node for node in graph.nodes() if graph.degree(node) >= min_degree]
+        if not candidates:
+            raise WorkloadError("no node has enough neighbours to seed a pattern")
+        rng.shuffle(candidates)
+        candidates = candidates[:200]
+
+    last_error: Optional[Exception] = None
+    for seed_node in candidates:
+        try:
+            return _grow_pattern(graph, seed_node, num_nodes, num_edges, rng)
+        except WorkloadError as error:
+            last_error = error
+            continue
+    raise WorkloadError(f"could not embed a ({num_nodes}, {num_edges}) pattern: {last_error}")
+
+
+def _grow_pattern(
+    graph: DiGraph,
+    seed_node: NodeId,
+    num_nodes: int,
+    num_edges: int,
+    rng: random.Random,
+) -> Tuple[GraphPattern, NodeId]:
+    """Grow a connected node sample around ``seed_node`` and abstract it."""
+    sample: List[NodeId] = [seed_node]
+    sample_set = {seed_node}
+    frontier: List[NodeId] = [seed_node]
+    while len(sample) < num_nodes and frontier:
+        current = frontier[rng.randrange(len(frontier))]
+        neighbors = [node for node in graph.neighbors(current) if node not in sample_set]
+        if not neighbors:
+            frontier.remove(current)
+            continue
+        chosen = neighbors[rng.randrange(len(neighbors))]
+        sample.append(chosen)
+        sample_set.add(chosen)
+        frontier.append(chosen)
+    if len(sample) < num_nodes:
+        raise WorkloadError("neighbourhood too small for the requested pattern size")
+
+    # Query node ids are 0..k-1; node 0 is the personalized node.
+    index_of = {node: index for index, node in enumerate(sample)}
+    labels = {index_of[node]: graph.label(node) for node in sample}
+    labels[0] = ("@person", str(seed_node))
+
+    available_edges = [
+        (index_of[source], index_of[target])
+        for source in sample
+        for target in graph.successors(source)
+        if target in sample_set and source != target
+    ]
+    if len(available_edges) < num_nodes - 1:
+        raise WorkloadError("sampled subgraph too sparse to form a connected pattern")
+    rng.shuffle(available_edges)
+
+    chosen_edges: List[Tuple[int, int]] = []
+    connected = {0}
+    remaining = list(available_edges)
+    # Greedily keep edges that extend connectivity first.
+    progress = True
+    while len(connected) < num_nodes and progress:
+        progress = False
+        for edge in list(remaining):
+            source, target = edge
+            if (source in connected) != (target in connected):
+                chosen_edges.append(edge)
+                connected.update(edge)
+                remaining.remove(edge)
+                progress = True
+    if len(connected) < num_nodes:
+        raise WorkloadError("sampled subgraph is not weakly connected around the seed")
+    for edge in remaining:
+        if len(chosen_edges) >= num_edges:
+            break
+        chosen_edges.append(edge)
+    if len(chosen_edges) < min(num_edges, num_nodes - 1):
+        raise WorkloadError("not enough edges in the sampled subgraph")
+
+    non_personalized = [index for index in range(num_nodes) if index != 0]
+    output = non_personalized[rng.randrange(len(non_personalized))] if non_personalized else 0
+    pattern = make_pattern(labels, chosen_edges, personalized=0, output=output)
+    pattern.validate()
+    return pattern, seed_node
+
+
+def pattern_workload(
+    graph: DiGraph,
+    shape: Tuple[int, int],
+    count: int,
+    seed: int = 0,
+) -> List[Tuple[GraphPattern, NodeId]]:
+    """A list of ``count`` embedded patterns of the given ``(|Vp|, |Ep|)`` shape."""
+    rng = random.Random(seed)
+    workload: List[Tuple[GraphPattern, NodeId]] = []
+    attempts = 0
+    while len(workload) < count and attempts < count * 20:
+        attempts += 1
+        try:
+            workload.append(embedded_pattern(graph, shape[0], shape[1], seed=rng.randrange(1 << 30)))
+        except WorkloadError:
+            continue
+    if len(workload) < count:
+        raise WorkloadError(
+            f"could only embed {len(workload)} of {count} patterns of shape {shape} in the graph"
+        )
+    return workload

@@ -1,0 +1,321 @@
+"""The hierarchical landmark index ``I`` (paper Section 5.1, procedure RBIndex).
+
+The index is a small, size-bounded structure over a reachability-preserving
+DAG.  It consists of:
+
+* at most ``alpha * |G| / 2`` *landmarks*, selected greedily by
+  ``(degree * rank) / (L * D)``, organised into levels — every landmark lives
+  at level 1, and progressively smaller subsets are "moved up" to levels
+  2, 3, ... (the paper's bottom-up expansion with ``a = floor(2/alpha)``);
+* direction-tagged *index edges* between landmarks of adjacent levels:
+  an edge ``v -> v'`` is stored when ``v`` can reach ``v'`` in the DAG
+  (so following stored edges only ever asserts true reachability);
+* per-landmark *cover sizes* (how many connected pairs the landmark covers,
+  estimated as ancestors x descendants) and *topological ranges*, which drive
+  the drill-down / roll-up decisions and the Lemma 5(2) pruning;
+* per-node *out-of-index labels* ``v.E``: the first landmarks hit by a
+  forward (resp. backward) traversal from the node that stops at landmarks.
+
+The total number of landmarks plus index edges never exceeds
+``alpha * |G|``, which is the resource bound RBReach operates under.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from collections import deque
+
+from repro.exceptions import IndexBuildError
+from repro.graph.digraph import DiGraph, NodeId
+from repro.reachability.compression import CompressedGraph, compress
+from repro.reachability.landmarks import first_landmarks_hit, greedy_landmarks
+
+
+@dataclass
+class LandmarkInfo:
+    """Per-landmark metadata stored in the index."""
+
+    node: NodeId
+    level: int
+    rank: int
+    cover_size: int
+    range_low: int
+    range_high: int
+
+
+@dataclass
+class HierarchicalLandmarkIndex:
+    """The hierarchical landmark index ``I`` plus the out-of-index labels."""
+
+    compressed: CompressedGraph
+    alpha: float
+    size_budget: int
+    landmarks: Dict[NodeId, LandmarkInfo] = field(default_factory=dict)
+    levels: List[List[NodeId]] = field(default_factory=list)
+    forward_edges: Dict[NodeId, Set[NodeId]] = field(default_factory=dict)
+    backward_edges: Dict[NodeId, Set[NodeId]] = field(default_factory=dict)
+    forward_labels: Dict[NodeId, Set[NodeId]] = field(default_factory=dict)
+    backward_labels: Dict[NodeId, Set[NodeId]] = field(default_factory=dict)
+    edge_count: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Size and structure
+    # ------------------------------------------------------------------ #
+    def num_landmarks(self) -> int:
+        """Number of landmarks in the index."""
+        return len(self.landmarks)
+
+    def num_levels(self) -> int:
+        """Number of hierarchy levels."""
+        return len(self.levels)
+
+    def size(self) -> int:
+        """|I| = landmarks + index edges; bounded by ``alpha * |G|``."""
+        return self.num_landmarks() + self.edge_count
+
+    def is_landmark(self, node: NodeId) -> bool:
+        """Whether a DAG node is a landmark."""
+        return node in self.landmarks
+
+    def reachable_index_neighbors(self, landmark: NodeId) -> Set[NodeId]:
+        """Landmarks known (via stored edges) to be reachable *from* ``landmark``."""
+        return self.forward_edges.get(landmark, set())
+
+    def reaching_index_neighbors(self, landmark: NodeId) -> Set[NodeId]:
+        """Landmarks known (via stored edges) to reach ``landmark``."""
+        return self.backward_edges.get(landmark, set())
+
+    def labels_of(self, dag_node: NodeId, forward: bool) -> Set[NodeId]:
+        """Out-of-index labels ``v.E`` of a DAG node for one direction."""
+        table = self.forward_labels if forward else self.backward_labels
+        return table.get(dag_node, set())
+
+    def info(self, landmark: NodeId) -> LandmarkInfo:
+        """Metadata of a landmark."""
+        return self.landmarks[landmark]
+
+
+def _cover_statistics(dag: DiGraph, landmarks: List[NodeId]) -> Tuple[Dict[NodeId, int], Dict[NodeId, Set[NodeId]], Dict[NodeId, Set[NodeId]]]:
+    """Descendant/ancestor counts and landmark-to-landmark reachability.
+
+    One forward and one backward BFS per landmark over the DAG.  Returns
+    (cover sizes, forward landmark reach sets, backward landmark reach sets).
+    """
+    landmark_set = set(landmarks)
+    cover: Dict[NodeId, int] = {}
+    forward_reach: Dict[NodeId, Set[NodeId]] = {}
+    backward_reach: Dict[NodeId, Set[NodeId]] = {}
+    for landmark in landmarks:
+        descendants = 0
+        reached_landmarks: Set[NodeId] = set()
+        seen: Set[NodeId] = {landmark}
+        queue: deque = deque([landmark])
+        while queue:
+            node = queue.popleft()
+            for child in dag.successors(node):
+                if child in seen:
+                    continue
+                seen.add(child)
+                descendants += 1
+                if child in landmark_set:
+                    reached_landmarks.add(child)
+                queue.append(child)
+        ancestors = 0
+        reaching_landmarks: Set[NodeId] = set()
+        seen = {landmark}
+        queue = deque([landmark])
+        while queue:
+            node = queue.popleft()
+            for parent in dag.predecessors(node):
+                if parent in seen:
+                    continue
+                seen.add(parent)
+                ancestors += 1
+                if parent in landmark_set:
+                    reaching_landmarks.add(parent)
+                queue.append(parent)
+        cover[landmark] = (descendants + 1) * (ancestors + 1)
+        forward_reach[landmark] = reached_landmarks
+        backward_reach[landmark] = reaching_landmarks
+    return cover, forward_reach, backward_reach
+
+
+def build_index(
+    graph_or_compressed,
+    alpha: float,
+    reference_size: Optional[int] = None,
+    max_parents_per_landmark: int = 4,
+    max_levels: Optional[int] = None,
+) -> HierarchicalLandmarkIndex:
+    """Procedure ``RBIndex``: build the hierarchical landmark index.
+
+    Parameters
+    ----------
+    graph_or_compressed:
+        Either a raw :class:`DiGraph` (it will be compressed first) or an
+        already built :class:`CompressedGraph`.
+    alpha:
+        The resource ratio; the index holds at most ``alpha * reference_size``
+        landmarks plus edges.
+    reference_size:
+        ``|G|`` used for the budget; defaults to the *original* graph size so
+        that the bound matches the paper's statement on ``G`` rather than on
+        the condensation.
+    max_parents_per_landmark:
+        How many higher-level landmarks a landmark may attach to per
+        direction; keeps the index forest-like and within budget.
+    max_levels:
+        Optional cap on hierarchy depth (defaults to the paper's
+        ``floor(log_a |G|) + 1``).
+    """
+    if not 0 < alpha <= 1:
+        raise IndexBuildError(f"alpha must be in (0, 1], got {alpha}")
+    compressed = graph_or_compressed if isinstance(graph_or_compressed, CompressedGraph) else compress(graph_or_compressed)
+    dag = compressed.dag
+    if reference_size is None:
+        reference_size = compressed.original.size()
+    size_budget = max(2, math.floor(alpha * reference_size))
+
+    index = HierarchicalLandmarkIndex(compressed=compressed, alpha=alpha, size_budget=size_budget)
+    if dag.num_nodes() == 0:
+        return index
+
+    exclusion_radius = max(1, math.floor(2 / alpha)) if alpha < 1 else 1
+    num_leaves = max(1, min(size_budget // 2, dag.num_nodes()))
+
+    # Weight the greedy score by SCC size: a component node stands for all of
+    # its original members, so it covers proportionally more node pairs.
+    component_sizes = {
+        component: float(len(members)) for component, members in compressed.condensation.members.items()
+    }
+    leaves = greedy_landmarks(
+        dag,
+        compressed.ranks,
+        num_leaves,
+        exclusion_radius,
+        weights=component_sizes,
+    )
+    if not leaves:
+        return index
+
+    cover, forward_reach, backward_reach = _cover_statistics(dag, leaves)
+
+    # --- arrange landmarks into levels (subsets moved up) ---------------- #
+    shrink = max(2, exclusion_radius)
+    depth_cap = max_levels if max_levels is not None else max(1, math.floor(math.log(max(dag.num_nodes(), 2), shrink)) + 1)
+    levels: List[List[NodeId]] = [list(leaves)]
+    current = list(leaves)
+    while len(current) > 2 and len(levels) < depth_cap:
+        next_count = max(1, len(current) // shrink)
+        if next_count >= len(current):
+            break
+        ordered = sorted(current, key=lambda node: (-cover[node], repr(node)))
+        current = ordered[:next_count]
+        levels.append(list(current))
+
+    level_of: Dict[NodeId, int] = {}
+    for level_number, members in enumerate(levels, start=1):
+        for node in members:
+            level_of[node] = level_number  # highest level wins (later overwrites)
+
+    for node in leaves:
+        rank = compressed.ranks.rank(node)
+        index.landmarks[node] = LandmarkInfo(
+            node=node,
+            level=level_of[node],
+            rank=rank,
+            cover_size=cover[node],
+            range_low=rank,
+            range_high=rank,
+        )
+    index.levels = levels
+
+    # --- index edges between adjacent levels ----------------------------- #
+    remaining = size_budget - len(leaves)
+    parents_per_child: Dict[Tuple[NodeId, bool], int] = {}
+
+    def try_add_edge(source: NodeId, target: NodeId) -> bool:
+        """Store the direction-tagged edge source → target if budget allows."""
+        nonlocal remaining
+        if remaining <= 0:
+            return False
+        if target in index.forward_edges.get(source, set()):
+            return True
+        index.forward_edges.setdefault(source, set()).add(target)
+        index.backward_edges.setdefault(target, set()).add(source)
+        index.edge_count += 1
+        remaining -= 1
+        return True
+
+    for upper_level in range(len(levels), 1, -1):
+        uppers = levels[upper_level - 1]
+        lowers = [node for node in levels[upper_level - 2] if level_of[node] == upper_level - 1]
+        for upper in sorted(uppers, key=lambda node: (-cover[node], repr(node))):
+            for lower in sorted(lowers, key=lambda node: (-cover[node], repr(node))):
+                if remaining <= 0:
+                    break
+                if lower in forward_reach[upper]:
+                    key = (lower, True)
+                    if parents_per_child.get(key, 0) < max_parents_per_landmark:
+                        if try_add_edge(upper, lower):
+                            parents_per_child[key] = parents_per_child.get(key, 0) + 1
+                if upper in forward_reach[lower]:
+                    key = (lower, False)
+                    if parents_per_child.get(key, 0) < max_parents_per_landmark:
+                        if try_add_edge(lower, upper):
+                            parents_per_child[key] = parents_per_child.get(key, 0) + 1
+            if remaining <= 0:
+                break
+
+    # Spend any leftover edge budget on leaf-to-leaf shortcuts: direct edges
+    # between landmarks that reach each other.  These are the pairs the upper
+    # levels are meant to summarise; materialising the highest-cover ones
+    # directly improves recall at no extra cost (the budget cap still holds).
+    if remaining > 0:
+        fanout: Dict[NodeId, int] = {}
+        for leaf in sorted(leaves, key=lambda node: (-cover[node], repr(node))):
+            if remaining <= 0:
+                break
+            for other in sorted(forward_reach[leaf], key=lambda node: (-cover[node], repr(node))):
+                if remaining <= 0:
+                    break
+                if fanout.get(leaf, 0) >= max_parents_per_landmark * 2:
+                    break
+                if try_add_edge(leaf, other):
+                    fanout[leaf] = fanout.get(leaf, 0) + 1
+
+    # Update topological ranges bottom-up: a landmark's range spans the ranks
+    # of every landmark in its (index-)subtree, used for Lemma 5(2) pruning.
+    for level_number in range(2, len(levels) + 1):
+        for node in levels[level_number - 1]:
+            info = index.landmarks[node]
+            low, high = info.range_low, info.range_high
+            for child in index.forward_edges.get(node, set()) | index.backward_edges.get(node, set()):
+                child_info = index.landmarks[child]
+                low = min(low, child_info.range_low)
+                high = max(high, child_info.range_high)
+            index.landmarks[node] = LandmarkInfo(
+                node=node,
+                level=info.level,
+                rank=info.rank,
+                cover_size=info.cover_size,
+                range_low=low,
+                range_high=high,
+            )
+
+    # --- out-of-index labels v.E ------------------------------------------ #
+    landmark_set = set(leaves)
+    label_cap = max(1, size_budget // 2)
+    for node in dag.nodes():
+        if node in landmark_set:
+            continue
+        forward = first_landmarks_hit(dag, node, landmark_set, forward=True, max_labels=label_cap)
+        backward = first_landmarks_hit(dag, node, landmark_set, forward=False, max_labels=label_cap)
+        if forward:
+            index.forward_labels[node] = forward
+        if backward:
+            index.backward_labels[node] = backward
+    return index

@@ -1,0 +1,161 @@
+"""Greedy landmark selection (paper Section 5.1, "Landmark selection").
+
+A *landmark* for a pair ``(v1, v2)`` is a node on a path from ``v1`` to
+``v2``.  Finding a minimum landmark set covering all connected pairs is
+NP-hard, so the paper selects landmarks greedily:
+
+1. pick the node with the maximum ``(v.d * v.r) / (L * D)`` — degree times
+   topological rank, normalised by the graph maxima; high-rank, high-degree
+   nodes tend to lie on many paths;
+2. remove the selected node and ``a = floor(2 / alpha)`` of the nodes
+   connected to it, so subsequent picks spread across the graph;
+3. repeat until the requested number of landmarks is selected.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.topology import TopologicalRankIndex
+
+
+def selection_scores(dag: DiGraph, ranks: TopologicalRankIndex) -> Dict[NodeId, float]:
+    """The greedy score of every node: ``(degree * rank) / (L * D)``."""
+    return {node: ranks.selection_score(node) for node in dag.nodes()}
+
+
+def greedy_landmarks(
+    dag: DiGraph,
+    ranks: TopologicalRankIndex,
+    count: int,
+    exclusion_radius: int,
+    candidates: Optional[Sequence[NodeId]] = None,
+    weights: Optional[Dict[NodeId, float]] = None,
+) -> List[NodeId]:
+    """Select up to ``count`` landmarks greedily.
+
+    ``exclusion_radius`` is the paper's ``a = floor(2 / alpha)``: after a
+    landmark is chosen, up to ``a`` of its not-yet-excluded neighbours are
+    removed from the candidate pool, which spreads landmarks across the graph
+    instead of clustering them inside one dense region.
+
+    ``weights`` optionally multiplies the paper's ``(deg * rank)/(L * D)``
+    score per node.  The index builder passes the SCC sizes here: on a
+    condensed DAG a giant strongly connected component becomes a single
+    rank-0 sink, and without the weight the paper's score would never select
+    it even though it covers by far the most original node pairs (see
+    DESIGN.md, "Key design decisions").
+
+    The returned list is ordered by decreasing greedy score.
+    """
+    if count <= 0:
+        return []
+    pool = list(candidates) if candidates is not None else list(dag.nodes())
+    scores = {
+        node: (dag.degree(node) * (ranks.rank(node) + 1)) * (weights.get(node, 1.0) if weights else 1.0)
+        for node in pool
+    }
+    # Max-heap over (score, degree, stable tiebreak).
+    heap = [(-scores[node], -dag.degree(node), repr(node), node) for node in pool]
+    heapq.heapify(heap)
+    excluded: Set[NodeId] = set()
+    selected: List[NodeId] = []
+    while heap and len(selected) < count:
+        _, _, _, node = heapq.heappop(heap)
+        if node in excluded:
+            continue
+        selected.append(node)
+        excluded.add(node)
+        removed = 0
+        for neighbor in dag.neighbors(node):
+            if removed >= exclusion_radius:
+                break
+            if neighbor not in excluded:
+                excluded.add(neighbor)
+                removed += 1
+    return selected
+
+
+def first_landmarks_hit(
+    graph: DiGraph,
+    start: NodeId,
+    landmarks: Set[NodeId],
+    forward: bool,
+    max_labels: Optional[int] = None,
+) -> Set[NodeId]:
+    """Landmarks reachable from ``start`` by a path containing no other landmark.
+
+    This computes the paper's out-of-index labels ``v.E``: a BFS from ``start``
+    that *stops at landmarks* — the first landmark encountered on each branch
+    is recorded and the search does not continue past it.  ``forward=True``
+    follows out-edges (landmarks reachable from ``start``); ``forward=False``
+    follows in-edges (landmarks that can reach ``start``).  ``max_labels``
+    truncates the label set, matching the ``|v.E| <= alpha|G|/2`` bound.
+    """
+    from collections import deque
+
+    found: Set[NodeId] = set()
+    if start in landmarks:
+        return found
+    seen: Set[NodeId] = {start}
+    queue: deque = deque([start])
+    step = graph.successors if forward else graph.predecessors
+    while queue:
+        node = queue.popleft()
+        for neighbor in step(node):
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            if neighbor in landmarks:
+                found.add(neighbor)
+                if max_labels is not None and len(found) >= max_labels:
+                    return found
+                continue
+            queue.append(neighbor)
+    return found
+
+
+def landmark_reachability(
+    dag: DiGraph,
+    landmarks: Sequence[NodeId],
+) -> Dict[NodeId, Set[NodeId]]:
+    """For each landmark, the set of *other* landmarks it can reach in ``dag``.
+
+    This materialises the paper's landmark graph ``G_l`` (node set: the
+    landmarks; edge ``(v1, v2)`` iff ``v1`` reaches ``v2``).  Computed with
+    one forward BFS per landmark; the preprocessing cost is the paper's
+    ``O((alpha |G|)^2)`` term.
+    """
+    from collections import deque
+
+    landmark_set = set(landmarks)
+    reaches: Dict[NodeId, Set[NodeId]] = {}
+    for landmark in landmarks:
+        reached: Set[NodeId] = set()
+        seen: Set[NodeId] = {landmark}
+        queue: deque = deque([landmark])
+        while queue:
+            node = queue.popleft()
+            for child in dag.successors(node):
+                if child in seen:
+                    continue
+                seen.add(child)
+                if child in landmark_set:
+                    reached.add(child)
+                queue.append(child)
+        reaches[landmark] = reached
+    return reaches
+
+
+def build_landmark_graph(dag: DiGraph, landmarks: Sequence[NodeId]) -> DiGraph:
+    """The landmark graph ``G_l``: landmarks as nodes, edges for reachability."""
+    reaches = landmark_reachability(dag, landmarks)
+    graph = DiGraph()
+    for landmark in landmarks:
+        graph.add_node(landmark, dag.label(landmark))
+    for landmark, reached in reaches.items():
+        for other in reached:
+            graph.add_edge(landmark, other)
+    return graph

@@ -1,0 +1,43 @@
+"""Workloads: surrogate datasets, synthetic series and query generators."""
+
+from repro.workloads.datasets import (
+    YAHOO_PAPER_SIZE,
+    YOUTUBE_PAPER_SIZE,
+    DatasetSpec,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+    scale_alpha,
+    synthetic,
+    synthetic_series,
+    yahoo_like,
+    youtube_like,
+)
+from repro.workloads.queries import (
+    PAPER_QUERY_SHAPES,
+    PatternQueryInstance,
+    PatternWorkload,
+    ReachabilityWorkload,
+    generate_pattern_workload,
+    generate_reachability_workload,
+)
+
+__all__ = [
+    "YAHOO_PAPER_SIZE",
+    "YOUTUBE_PAPER_SIZE",
+    "DatasetSpec",
+    "available_datasets",
+    "dataset_spec",
+    "load_dataset",
+    "scale_alpha",
+    "synthetic",
+    "synthetic_series",
+    "yahoo_like",
+    "youtube_like",
+    "PAPER_QUERY_SHAPES",
+    "PatternQueryInstance",
+    "PatternWorkload",
+    "ReachabilityWorkload",
+    "generate_pattern_workload",
+    "generate_reachability_workload",
+]

@@ -1,0 +1,187 @@
+"""Query workloads: pattern suites and reachability pair samplers (Section 6).
+
+Pattern workloads follow the paper's setup: queries of shape ``(|Vp|, |Ep|)``
+with labels drawn from the data graph, a randomly chosen personalized node
+(whose match in the data graph is unique) and a randomly chosen output node.
+
+Reachability workloads sample ordered node pairs; to make accuracy numbers
+informative the sampler balances positive pairs (the target is reachable)
+and negative pairs, because a purely uniform sample of a sparse graph is
+dominated by unreachable pairs and every algorithm trivially scores ~100%.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.traversal import bfs_order
+from repro.patterns.generator import embedded_pattern
+from repro.patterns.pattern import GraphPattern
+
+PAPER_QUERY_SHAPES: List[Tuple[int, int]] = [(4, 8), (5, 10), (6, 12), (7, 14), (8, 16)]
+"""The query shapes swept in Fig. 8(e)–(h)."""
+
+
+@dataclass
+class PatternQueryInstance:
+    """One pattern query: the pattern plus the personalized node's data match."""
+
+    pattern: GraphPattern
+    personalized_match: NodeId
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """The ``(|Vp|, |Ep|)`` shape of the pattern."""
+        return self.pattern.shape()
+
+
+@dataclass
+class PatternWorkload:
+    """A suite of pattern queries of a fixed shape over one graph."""
+
+    graph: DiGraph
+    shape: Tuple[int, int]
+    queries: List[PatternQueryInstance] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
+def generate_pattern_workload(
+    graph: DiGraph,
+    shape: Tuple[int, int],
+    count: int = 5,
+    seed: int = 0,
+    min_degree: int = 2,
+) -> PatternWorkload:
+    """Generate ``count`` embedded pattern queries of the given shape.
+
+    Patterns are embedded (extracted from the graph around a seed node) so
+    that the exact answer is non-empty, mirroring the paper's use of labels
+    drawn from the dataset.
+    """
+    if shape[0] < 2:
+        raise WorkloadError("pattern queries need at least two query nodes")
+    rng = random.Random(seed)
+    queries: List[PatternQueryInstance] = []
+    attempts = 0
+    while len(queries) < count and attempts < count * 50:
+        attempts += 1
+        try:
+            pattern, match = embedded_pattern(
+                graph,
+                num_nodes=shape[0],
+                num_edges=shape[1],
+                seed=rng.randrange(1 << 30),
+                min_degree=min_degree,
+            )
+        except WorkloadError:
+            continue
+        queries.append(PatternQueryInstance(pattern=pattern, personalized_match=match))
+    if len(queries) < count:
+        raise WorkloadError(
+            f"could only generate {len(queries)}/{count} pattern queries of shape {shape}"
+        )
+    return PatternWorkload(graph=graph, shape=shape, queries=queries)
+
+
+@dataclass
+class ReachabilityWorkload:
+    """A batch of reachability queries with their ground-truth answers."""
+
+    graph: DiGraph
+    pairs: List[Tuple[NodeId, NodeId]] = field(default_factory=list)
+    truth: Dict[Tuple[NodeId, NodeId], bool] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def positives(self) -> int:
+        """Number of pairs whose exact answer is True."""
+        return sum(1 for pair in self.pairs if self.truth[pair])
+
+
+def generate_reachability_workload(
+    graph: DiGraph,
+    count: int = 100,
+    positive_fraction: float = 0.5,
+    seed: int = 0,
+    max_walk_length: int = 12,
+) -> ReachabilityWorkload:
+    """Sample ``count`` ordered pairs with roughly ``positive_fraction`` positives.
+
+    Positive pairs are produced by random forward walks (so the target is
+    reachable by construction); negative candidates are uniform random pairs,
+    verified against a BFS oracle and discarded if they happen to be
+    reachable.  Ground truth for every emitted pair is recorded.
+    """
+    if count <= 0:
+        raise WorkloadError("count must be positive")
+    if not 0 <= positive_fraction <= 1:
+        raise WorkloadError("positive_fraction must be within [0, 1]")
+    nodes = list(graph.nodes())
+    if len(nodes) < 2:
+        raise WorkloadError("graph too small for reachability queries")
+    rng = random.Random(seed)
+    workload = ReachabilityWorkload(graph=graph)
+    wanted_positive = round(count * positive_fraction)
+    wanted_negative = count - wanted_positive
+
+    attempts = 0
+    while len(workload.pairs) < wanted_positive and attempts < wanted_positive * 60:
+        attempts += 1
+        source = rng.choice(nodes)
+        node = source
+        for _ in range(rng.randint(1, max_walk_length)):
+            successors = list(graph.successors(node))
+            if not successors:
+                break
+            node = rng.choice(successors)
+        if node == source:
+            continue
+        pair = (source, node)
+        if pair in workload.truth:
+            continue
+        workload.pairs.append(pair)
+        workload.truth[pair] = True
+
+    attempts = 0
+    while len(workload.pairs) < wanted_positive + wanted_negative and attempts < wanted_negative * 200:
+        attempts += 1
+        source = rng.choice(nodes)
+        target = rng.choice(nodes)
+        if source == target:
+            continue
+        pair = (source, target)
+        if pair in workload.truth:
+            continue
+        reachable = _oracle_reachable(graph, source, target)
+        if reachable:
+            # Keep it only if we still owe positives; otherwise skip.
+            if sum(1 for p in workload.pairs if workload.truth[p]) < wanted_positive:
+                workload.pairs.append(pair)
+                workload.truth[pair] = True
+            continue
+        workload.pairs.append(pair)
+        workload.truth[pair] = False
+
+    if not workload.pairs:
+        raise WorkloadError("failed to sample any reachability pairs")
+    return workload
+
+
+def _oracle_reachable(graph: DiGraph, source: NodeId, target: NodeId) -> bool:
+    """Small exact oracle used while sampling (forward BFS with early exit)."""
+    if source == target:
+        return True
+    for node in bfs_order(graph, source, direction="forward"):
+        if node == target:
+            return True
+    return False

@@ -1,0 +1,122 @@
+"""Tests for the ablation drivers and experiment-result persistence."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.ablations import ABLATION_COLUMNS, AblationRow, rbreach_hierarchy, rbsim_mechanisms
+from repro.experiments.persistence import (
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.experiments.records import ExperimentResult, PatternRow, ReachabilityRow
+from repro.experiments.reporting import columns_for, format_result
+from repro.graph.generators import preferential_attachment_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return preferential_attachment_graph(600, edges_per_node=2, seed=31, back_edge_probability=0.05)
+
+
+class TestRBSimAblation:
+    def test_produces_three_variants(self, graph):
+        result = rbsim_mechanisms(graph, "toy", alpha=0.05, shape=(4, 5), num_queries=2, seed=1)
+        assert result.experiment_id == "ablation-rbsim"
+        assert len(result.rows) == 3
+        variants = {row.variant for row in result.rows}
+        assert "full" in variants
+        assert any("weights" in variant for variant in variants)
+        assert any("guard" in variant for variant in variants)
+
+    def test_all_variants_within_budget(self, graph):
+        alpha = 0.05
+        result = rbsim_mechanisms(graph, "toy", alpha=alpha, shape=(4, 5), num_queries=2, seed=2)
+        budget = max(1, int(alpha * graph.size()))
+        for row in result.rows:
+            assert row.extracted_size <= budget
+            assert 0 <= row.accuracy <= 1
+
+    def test_reported_as_table(self, graph):
+        result = rbsim_mechanisms(graph, "toy", alpha=0.05, shape=(4, 5), num_queries=2, seed=3)
+        assert columns_for(result) == ABLATION_COLUMNS
+        text = format_result(result)
+        assert "variant" in text
+        assert "full" in text
+
+
+class TestRBReachAblation:
+    def test_flat_vs_hierarchical(self, graph):
+        result = rbreach_hierarchy(graph, "toy", alpha=0.05, num_queries=30, seed=1)
+        assert result.experiment_id == "ablation-rbreach"
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.false_positives == 0
+            assert 0 <= row.accuracy <= 1
+            assert row.extracted_size <= max(2, int(0.05 * graph.size()))
+
+    def test_registered_in_harness(self):
+        from repro.experiments.harness import available_experiments
+
+        experiments = available_experiments()
+        assert "ablation-rbsim" in experiments
+        assert "ablation-rbreach" in experiments
+
+
+class TestPersistence:
+    def _sample_results(self):
+        return [
+            ExperimentResult(
+                "fig8c",
+                "accuracy",
+                rows=[PatternRow("toy", "alpha", 0.01, 2, 0.01, "(4,8)", rbsim_accuracy=0.9)],
+                notes="quick scale",
+            ),
+            ExperimentResult(
+                "fig8m",
+                "accuracy",
+                rows=[ReachabilityRow("toy", "alpha", 0.01, 10, 0.01, rbreach_accuracy=0.97)],
+            ),
+        ]
+
+    def test_round_trip_via_dict(self):
+        original = self._sample_results()[0]
+        restored = result_from_dict(result_to_dict(original))
+        assert restored.experiment_id == original.experiment_id
+        assert restored.notes == original.notes
+        assert restored.rows == original.rows
+
+    def test_round_trip_via_file(self, tmp_path):
+        results = self._sample_results()
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert len(loaded) == 2
+        assert loaded[0].rows == results[0].rows
+        assert loaded[1].rows[0].rbreach_accuracy == pytest.approx(0.97)
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}', encoding="utf-8")
+        with pytest.raises(ExperimentError):
+            load_results(path)
+
+    def test_unknown_row_type_rejected(self):
+        with pytest.raises(ExperimentError):
+            result_from_dict(
+                {"experiment_id": "x", "title": "t", "rows": [{"type": "Mystery", "data": {}}]}
+            )
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(ExperimentError):
+            result_from_dict({"title": "missing id"})
+
+    def test_ablation_rows_not_serialisable_yet(self):
+        result = ExperimentResult(
+            "ablation-rbsim",
+            "t",
+            rows=[AblationRow("toy", "variant", "full", "full", 1.0, 10.0)],
+        )
+        with pytest.raises(ExperimentError):
+            result_to_dict(result)

@@ -1,0 +1,91 @@
+"""Tests for the accuracy measures of Section 3."""
+
+import pytest
+
+from repro.core.accuracy import (
+    AccuracyReport,
+    boolean_accuracy,
+    mean_accuracy,
+    pattern_accuracy,
+    reachability_counts,
+    set_accuracy,
+)
+
+
+class TestSetAccuracy:
+    def test_perfect_answer(self):
+        report = set_accuracy({1, 2, 3}, {1, 2, 3})
+        assert report == AccuracyReport(1.0, 1.0, 1.0)
+
+    def test_partial_recall(self):
+        report = set_accuracy({1, 2, 3, 4}, {1, 2})
+        assert report.precision == 1.0
+        assert report.recall == 0.5
+        assert report.f_measure == pytest.approx(2 / 3)
+
+    def test_partial_precision(self):
+        report = set_accuracy({1}, {1, 2, 3, 4})
+        assert report.precision == 0.25
+        assert report.recall == 1.0
+        assert report.f_measure == pytest.approx(0.4)
+
+    def test_disjoint_sets(self):
+        report = set_accuracy({1, 2}, {3, 4})
+        assert report.f_measure == 0.0
+
+    def test_both_empty_counts_as_perfect(self):
+        assert set_accuracy(set(), set()).f_measure == 1.0
+
+    def test_one_side_empty(self):
+        assert set_accuracy(set(), {1}).f_measure == 0.0
+        assert set_accuracy({1}, set()).f_measure == 0.0
+
+    def test_pattern_accuracy_accepts_iterables(self):
+        assert pattern_accuracy([1, 2], (2, 1)).f_measure == 1.0
+
+    def test_as_tuple(self):
+        assert set_accuracy({1}, {1}).as_tuple() == (1.0, 1.0, 1.0)
+
+
+class TestBooleanAccuracy:
+    def test_all_correct(self):
+        exact = {"q1": True, "q2": False}
+        assert boolean_accuracy(exact, dict(exact)).f_measure == 1.0
+
+    def test_false_negatives_lower_accuracy(self):
+        exact = {"q1": True, "q2": True, "q3": False, "q4": False}
+        approx = {"q1": True, "q2": False, "q3": False, "q4": False}
+        report = boolean_accuracy(exact, approx)
+        assert report.precision == 0.75
+        assert report.recall == 0.75
+
+    def test_unanswered_queries_hit_recall_only(self):
+        exact = {"q1": True, "q2": False}
+        approx = {"q1": True}
+        report = boolean_accuracy(exact, approx)
+        assert report.precision == 1.0
+        assert report.recall == 0.5
+
+    def test_empty_batches(self):
+        assert boolean_accuracy({}, {}).f_measure == 1.0
+
+    def test_confusion_counts(self):
+        exact = {"a": True, "b": True, "c": False, "d": False}
+        approx = {"a": True, "b": False, "c": True, "d": False}
+        counts = reachability_counts(exact, approx)
+        assert counts == {"tp": 1, "tn": 1, "fp": 1, "fn": 1}
+
+    def test_confusion_counts_skip_unanswered(self):
+        counts = reachability_counts({"a": True}, {})
+        assert counts == {"tp": 0, "tn": 0, "fp": 0, "fn": 0}
+
+
+class TestMeanAccuracy:
+    def test_mean_of_reports(self):
+        reports = [AccuracyReport(1.0, 1.0, 1.0), AccuracyReport(0.0, 0.0, 0.0)]
+        mean = mean_accuracy(reports)
+        assert mean.precision == 0.5
+        assert mean.f_measure == 0.5
+
+    def test_mean_of_empty_sequence_is_perfect(self):
+        assert mean_accuracy([]).f_measure == 1.0

@@ -1,0 +1,121 @@
+"""Tests for the simulation-preserving (query-preserving) compression."""
+
+import pytest
+
+from repro.graph.bisimulation import (
+    bisimulation_partition,
+    compress_for_simulation,
+    simulation_preserving,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_graph, star_graph
+from repro.matching.strong_simulation import strong_simulation
+
+
+class TestPartition:
+    def test_same_block_implies_same_label(self, example1_graph):
+        blocks = bisimulation_partition(example1_graph)
+        by_block = {}
+        for node, block in blocks.items():
+            by_block.setdefault(block, set()).add(node)
+        for members in by_block.values():
+            labels = {example1_graph.label(node) for node in members}
+            assert len(labels) == 1
+
+    def test_same_block_implies_same_neighbor_blocks(self, example1_graph):
+        blocks = bisimulation_partition(example1_graph)
+        by_block = {}
+        for node, block in blocks.items():
+            by_block.setdefault(block, set()).add(node)
+        for members in by_block.values():
+            child_signatures = {
+                frozenset(blocks[child] for child in example1_graph.successors(node))
+                for node in members
+            }
+            parent_signatures = {
+                frozenset(blocks[parent] for parent in example1_graph.predecessors(node))
+                for node in members
+            }
+            assert len(child_signatures) == 1
+            assert len(parent_signatures) == 1
+
+    def test_symmetric_leaves_collapse(self):
+        graph = star_graph(8)
+        blocks = bisimulation_partition(graph)
+        leaf_blocks = {blocks[leaf] for leaf in range(1, 9)}
+        assert len(leaf_blocks) == 1
+        assert blocks[0] not in leaf_blocks
+
+    def test_path_endpoints_distinguished_from_middle(self):
+        graph = path_graph(3, label="P")  # 0 -> 1 -> 2 -> 3, all same label
+        blocks = bisimulation_partition(graph)
+        assert blocks[0] != blocks[1]
+        assert blocks[3] != blocks[2]
+
+    def test_empty_graph(self):
+        assert bisimulation_partition(DiGraph()) == {}
+
+
+class TestQuotient:
+    def test_quotient_never_larger(self, example1_graph, small_social_graph):
+        for graph in (example1_graph, small_social_graph):
+            compressed = compress_for_simulation(graph)
+            assert compressed.quotient.num_nodes() <= graph.num_nodes()
+            assert compressed.compression_ratio() <= 1.0
+
+    def test_symmetric_structure_compresses_well(self):
+        graph = star_graph(20)
+        compressed = compress_for_simulation(graph)
+        assert compressed.quotient.num_nodes() == 2  # hub block + leaf block
+        assert compressed.compression_ratio() < 0.2
+
+    def test_membership_maps_are_consistent(self, example1_graph):
+        compressed = compress_for_simulation(example1_graph)
+        for node in example1_graph.nodes():
+            block = compressed.compress_node(node)
+            assert node in compressed.members[block]
+        total = sum(len(members) for members in compressed.members.values())
+        assert total == example1_graph.num_nodes()
+
+    def test_decompress_answer_unions_members(self, example1_graph):
+        compressed = compress_for_simulation(example1_graph)
+        block = compressed.compress_node("cl3")
+        expanded = compressed.decompress_answer({block})
+        assert "cl3" in expanded
+        assert expanded == compressed.members[block]
+
+    def test_quotient_labels_match_members(self, example1_graph):
+        compressed = compress_for_simulation(example1_graph)
+        for block, members in compressed.members.items():
+            member_label = example1_graph.label(next(iter(members)))
+            assert compressed.quotient.label(block) == member_label
+
+
+class TestQueryPreservation:
+    def test_example1_answer_preserved(self, example1_graph, example1_query):
+        compressed = compress_for_simulation(example1_graph)
+        # Michael's label is unique, so its class is a singleton and the check applies.
+        assert len(compressed.members[compressed.compress_node("Michael")]) == 1
+        assert simulation_preserving(compressed, example1_query, "Michael")
+
+    def test_example1_answer_values(self, example1_graph, example1_query):
+        compressed = compress_for_simulation(example1_graph)
+        quotient_answer = strong_simulation(
+            example1_query,
+            compressed.quotient,
+            compressed.compress_node("Michael"),
+        ).answer
+        assert compressed.decompress_answer(set(quotient_answer)) == {"cl3", "cl4"}
+
+    def test_compression_can_feed_rbsim(self, example1_graph, example1_query):
+        """The paper: [12]'s compression combines with resource-bounded answering."""
+        from repro.core.rbsim import rbsim
+
+        compressed = compress_for_simulation(example1_graph)
+        answer = rbsim(
+            example1_query,
+            compressed.quotient,
+            compressed.compress_node("Michael"),
+            alpha=0.9,
+        )
+        assert compressed.decompress_answer(set(answer.answer)) == {"cl3", "cl4"}

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig8a" in output
+        assert "table2" in output
+        assert "youtube" in output
+
+
+class TestDatasets:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "youtube-small" in output
+        assert "|V|=" in output
+
+
+class TestRun:
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "fig8m", "--scale", "quick", "--seed", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "fig8m" in output
+        assert "Summary:" in output
+
+    def test_run_writes_output_file(self, tmp_path, capsys):
+        report = tmp_path / "report.txt"
+        assert main(["run", "fig8c", "--scale", "quick", "--output", str(report)]) == 0
+        capsys.readouterr()
+        assert report.exists()
+        assert "fig8c" in report.read_text(encoding="utf-8")
+
+    def test_unknown_experiment_errors(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "fig8zz"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,99 @@
+"""Tests for SCC computation and the reachability-preserving condensation."""
+
+import pytest
+
+from repro.graph.components import condensation, is_dag, strongly_connected_components
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import cycle_graph, path_graph
+from repro.graph.traversal import bidirectional_reachable
+
+
+class TestSCC:
+    def test_single_cycle_is_one_component(self):
+        graph = cycle_graph(5)
+        components = strongly_connected_components(graph)
+        assert len(components) == 1
+        assert components[0] == set(range(5))
+
+    def test_path_has_singleton_components(self):
+        graph = path_graph(4)
+        components = strongly_connected_components(graph)
+        assert len(components) == 5
+        assert all(len(component) == 1 for component in components)
+
+    def test_two_cycles_with_bridge(self, two_cycle_graph):
+        components = strongly_connected_components(two_cycle_graph)
+        assert len(components) == 2
+        assert {0, 1, 2} in components and {3, 4, 5} in components
+
+    def test_components_partition_nodes(self, small_social_graph):
+        components = strongly_connected_components(small_social_graph)
+        seen = set()
+        total = 0
+        for component in components:
+            assert not (component & seen)
+            seen |= component
+            total += len(component)
+        assert total == small_social_graph.num_nodes()
+
+    def test_reverse_topological_order(self, diamond_dag):
+        components = strongly_connected_components(diamond_dag)
+        # Every component is a singleton; a component must appear after the
+        # components it reaches (reverse topological order).
+        positions = {next(iter(component)): index for index, component in enumerate(components)}
+        for source, target in diamond_dag.edges():
+            assert positions[target] < positions[source]
+
+
+class TestIsDag:
+    def test_dag_detection(self, diamond_dag, two_cycle_graph):
+        assert is_dag(diamond_dag)
+        assert not is_dag(two_cycle_graph)
+
+    def test_self_loop_is_cycle(self):
+        graph = DiGraph()
+        graph.add_node(1, "A")
+        graph.add_edge(1, 1)
+        assert not is_dag(graph)
+
+
+class TestCondensation:
+    def test_condensation_is_a_dag(self, two_cycle_graph):
+        result = condensation(two_cycle_graph)
+        assert is_dag(result.dag)
+        assert result.dag.num_nodes() == 2
+        assert result.dag.num_edges() == 1
+
+    def test_membership_and_members_consistent(self, two_cycle_graph):
+        result = condensation(two_cycle_graph)
+        for node in two_cycle_graph.nodes():
+            assert node in result.members[result.component_of(node)]
+
+    def test_component_of_unknown_node_raises(self, two_cycle_graph):
+        from repro.exceptions import NodeNotFoundError
+
+        result = condensation(two_cycle_graph)
+        with pytest.raises(NodeNotFoundError):
+            result.component_of("ghost")
+
+    def test_compression_ratio_below_one_for_cyclic_graph(self, two_cycle_graph):
+        result = condensation(two_cycle_graph)
+        assert result.compression_ratio(two_cycle_graph) < 1.0
+
+    def test_reachability_preserved(self, small_social_graph):
+        result = condensation(small_social_graph)
+        nodes = sorted(small_social_graph.nodes())[:12]
+        for source in nodes[:6]:
+            for target in nodes[6:]:
+                original = bidirectional_reachable(small_social_graph, source, target)
+                source_component = result.component_of(source)
+                target_component = result.component_of(target)
+                condensed = source_component == target_component or bidirectional_reachable(
+                    result.dag, source_component, target_component
+                )
+                assert original == condensed
+
+    def test_condensation_of_dag_is_isomorphic_in_size(self, diamond_dag):
+        result = condensation(diamond_dag)
+        assert result.dag.num_nodes() == diamond_dag.num_nodes()
+        assert result.dag.num_edges() == diamond_dag.num_edges()

@@ -1,0 +1,67 @@
+"""Tests for the reachability-preserving compression step."""
+
+import pytest
+
+from repro.graph.components import is_dag
+from repro.graph.generators import cycle_graph, path_graph
+from repro.graph.traversal import bidirectional_reachable
+from repro.reachability.compression import compress, verify_reachability_preserved
+
+
+class TestCompress:
+    def test_dag_output(self, two_cycle_graph):
+        compressed = compress(two_cycle_graph)
+        assert is_dag(compressed.dag)
+        assert compressed.dag.num_nodes() == 2
+
+    def test_component_lookup_and_ranks(self, two_cycle_graph):
+        compressed = compress(two_cycle_graph)
+        first = compressed.component_of(0)
+        second = compressed.component_of(3)
+        assert first != second
+        assert compressed.rank_of(0) > compressed.rank_of(3)
+
+    def test_same_component_detection(self, two_cycle_graph):
+        compressed = compress(two_cycle_graph)
+        assert compressed.same_component(0, 2)
+        assert not compressed.same_component(0, 4)
+
+    def test_compression_ratio(self, two_cycle_graph):
+        compressed = compress(two_cycle_graph)
+        assert 0 < compressed.compression_ratio() < 1
+
+    def test_ratio_is_one_for_dag(self, diamond_dag):
+        compressed = compress(diamond_dag)
+        assert compressed.compression_ratio() == pytest.approx(1.0)
+
+    def test_exact_reachable_matches_original(self, small_social_graph):
+        compressed = compress(small_social_graph)
+        nodes = sorted(small_social_graph.nodes())[:16]
+        for source in nodes[:8]:
+            for target in nodes[8:]:
+                assert compressed.exact_reachable(source, target) == bidirectional_reachable(
+                    small_social_graph, source, target
+                )
+
+    def test_cycle_collapses_to_single_node(self):
+        compressed = compress(cycle_graph(6))
+        assert compressed.dag.num_nodes() == 1
+        assert compressed.exact_reachable(0, 3)
+
+    def test_path_stays_identical_in_size(self):
+        graph = path_graph(5)
+        compressed = compress(graph)
+        assert compressed.dag.num_nodes() == graph.num_nodes()
+        assert compressed.exact_reachable(0, 5)
+        assert not compressed.exact_reachable(5, 0)
+
+
+class TestVerification:
+    def test_verify_with_no_samples_trivially_true(self, two_cycle_graph):
+        assert verify_reachability_preserved(compress(two_cycle_graph))
+
+    def test_verify_with_samples(self, small_social_graph):
+        compressed = compress(small_social_graph)
+        nodes = sorted(small_social_graph.nodes())
+        samples = {nodes[0]: nodes[1], nodes[2]: nodes[3], nodes[10]: nodes[42]}
+        assert verify_reachability_preserved(compressed, samples)

@@ -1,0 +1,182 @@
+"""Unit tests for the core DiGraph data structure."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DiGraph()
+        assert graph.num_nodes() == 0
+        assert graph.num_edges() == 0
+        assert graph.size() == 0
+        assert list(graph.nodes()) == []
+        assert list(graph.edges()) == []
+
+    def test_add_nodes_and_edges(self):
+        graph = DiGraph()
+        graph.add_node(1, "A")
+        graph.add_node(2, "B")
+        assert graph.add_edge(1, 2) is True
+        assert graph.num_nodes() == 2
+        assert graph.num_edges() == 1
+        assert graph.size() == 3
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+
+    def test_parallel_edges_collapse(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        assert graph.add_edge("a", "b") is True
+        assert graph.add_edge("a", "b") is False
+        assert graph.num_edges() == 1
+
+    def test_add_edge_unknown_endpoint_raises(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        with pytest.raises(NodeNotFoundError):
+            graph.add_edge("a", "missing")
+        with pytest.raises(NodeNotFoundError):
+            graph.add_edge("missing", "a")
+
+    def test_from_edges_builds_nodes_and_labels(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 3)], labels={1: "A", 3: "C"}, default_label="X")
+        assert graph.num_nodes() == 3
+        assert graph.label(1) == "A"
+        assert graph.label(2) == "X"
+        assert graph.label(3) == "C"
+        assert graph.has_edge(1, 2)
+
+    def test_from_edges_includes_isolated_labeled_nodes(self):
+        graph = DiGraph.from_edges([(1, 2)], labels={5: "Z"})
+        assert 5 in graph
+        assert graph.degree(5) == 0
+
+    def test_relabel(self):
+        graph = DiGraph()
+        graph.add_node("n", "old")
+        graph.relabel("n", "new")
+        assert graph.label("n") == "new"
+        with pytest.raises(NodeNotFoundError):
+            graph.relabel("missing", "x")
+
+    def test_add_existing_node_relabels(self):
+        graph = DiGraph()
+        graph.add_node("n", "one")
+        graph.add_node("n", "two")
+        assert graph.num_nodes() == 1
+        assert graph.label("n") == "two"
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        graph = DiGraph.from_edges([(1, 2)])
+        graph.remove_edge(1, 2)
+        assert graph.num_edges() == 0
+        assert not graph.has_edge(1, 2)
+
+    def test_remove_missing_edge_raises(self):
+        graph = DiGraph.from_edges([(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(2, 1)
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        graph.remove_node(2)
+        assert 2 not in graph
+        assert graph.num_edges() == 1
+        assert graph.has_edge(3, 1)
+
+    def test_remove_missing_node_raises(self):
+        graph = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node("ghost")
+
+
+class TestInspection:
+    def test_neighbors_and_degrees(self):
+        graph = DiGraph.from_edges([(1, 2), (3, 1), (1, 4)])
+        assert graph.successors(1) == {2, 4}
+        assert graph.predecessors(1) == {3}
+        assert graph.neighbors(1) == {2, 3, 4}
+        assert graph.out_degree(1) == 2
+        assert graph.in_degree(1) == 1
+        assert graph.degree(1) == 3
+
+    def test_degree_counts_distinct_neighbors(self):
+        # A reciprocal edge pair contributes a single neighbour.
+        graph = DiGraph.from_edges([(1, 2), (2, 1)])
+        assert graph.degree(1) == 1
+
+    def test_unknown_node_lookups_raise(self):
+        graph = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            graph.successors("x")
+        with pytest.raises(NodeNotFoundError):
+            graph.label("x")
+
+    def test_max_degree(self):
+        graph = DiGraph.from_edges([(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert graph.max_degree() == 3
+        assert DiGraph().max_degree() == 0
+
+    def test_nodes_with_label(self):
+        graph = DiGraph()
+        graph.add_node(1, "A")
+        graph.add_node(2, "B")
+        graph.add_node(3, "A")
+        assert graph.nodes_with_label("A") == {1, 3}
+        assert graph.nodes_with_label("missing") == set()
+
+    def test_distinct_labels(self):
+        graph = DiGraph()
+        graph.add_node(1, "A")
+        graph.add_node(2, "A")
+        graph.add_node(3, "B")
+        assert graph.distinct_labels() == {"A", "B"}
+
+    def test_len_iter_contains(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 3)])
+        assert len(graph) == 3
+        assert set(iter(graph)) == {1, 2, 3}
+        assert 1 in graph and 9 not in graph
+
+    def test_repr(self):
+        graph = DiGraph.from_edges([(1, 2)])
+        assert "nodes=2" in repr(graph)
+        assert "edges=1" in repr(graph)
+
+    def test_equality(self):
+        first = DiGraph.from_edges([(1, 2)], labels={1: "A", 2: "B"})
+        second = DiGraph.from_edges([(1, 2)], labels={1: "A", 2: "B"})
+        third = DiGraph.from_edges([(2, 1)], labels={1: "A", 2: "B"})
+        assert first == second
+        assert first != third
+
+    def test_graphs_are_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(DiGraph())
+
+
+class TestCopyAndValidate:
+    def test_copy_is_independent(self):
+        graph = DiGraph.from_edges([(1, 2)], labels={1: "A", 2: "B"})
+        clone = graph.copy()
+        clone.add_node(3, "C")
+        clone.add_edge(2, 3)
+        assert 3 not in graph
+        assert graph.num_edges() == 1
+        assert clone.num_edges() == 2
+
+    def test_validate_passes_for_consistent_graph(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 3)])
+        graph.validate()
+
+    def test_validate_detects_corruption(self):
+        graph = DiGraph.from_edges([(1, 2)])
+        graph._edge_count = 5  # simulate corruption
+        with pytest.raises(GraphError):
+            graph.validate()

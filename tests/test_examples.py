@@ -1,0 +1,73 @@
+"""Smoke tests that run every example script end to end (scaled down).
+
+The examples are part of the public deliverable; these tests import each one
+as a module and run its ``main`` with small inputs so regressions in the
+public API surface are caught by the test suite rather than by users.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module without executing ``main``."""
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"examples_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleScripts:
+    def test_examples_directory_contains_at_least_three_scripts(self):
+        scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 3
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "resource-bounded answer" in output
+        assert "cl3" in output and "cl4" in output
+        assert "Michael -> Eric : True" in output
+
+    def test_personalized_social_search_runs(self, capsys, monkeypatch):
+        module = load_example("personalized_social_search.py")
+        monkeypatch.setattr(module, "NUM_QUERIES", 2)
+        monkeypatch.setattr(sys, "argv", ["personalized_social_search.py", "1200"])
+        module.main()
+        output = capsys.readouterr().out
+        assert "mean time per query" in output
+        assert "RBSim mean accuracy" in output
+
+    def test_reachability_example_runs(self, capsys, monkeypatch):
+        module = load_example("reachability_within_budget.py")
+        monkeypatch.setattr(module, "NUM_QUERIES", 20)
+        monkeypatch.setattr(module, "ALPHAS", (0.01,))
+        monkeypatch.setattr(sys, "argv", ["reachability_within_budget.py", "1500"])
+        module.main()
+        output = capsys.readouterr().out
+        assert "RBReach" in output
+        assert "BFS" in output
+
+    def test_tradeoff_example_runs(self, capsys, monkeypatch):
+        module = load_example("resource_accuracy_tradeoff.py")
+        monkeypatch.setattr(module, "PATTERN_ALPHAS", (0.005, 0.05))
+        monkeypatch.setattr(module, "REACH_ALPHAS", (0.01, 0.05))
+
+        def small_graph(num_nodes=6000):
+            from repro import youtube_like
+
+            return youtube_like(num_nodes=1200)
+
+        monkeypatch.setattr(module, "youtube_like", small_graph)
+        module.main()
+        output = capsys.readouterr().out
+        assert "accuracy vs alpha" in output
+        assert "#" in output

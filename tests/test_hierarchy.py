@@ -1,0 +1,99 @@
+"""Tests for the hierarchical landmark index (RBIndex)."""
+
+import pytest
+
+from repro.exceptions import IndexBuildError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import layered_dag, preferential_attachment_graph
+from repro.graph.traversal import is_reachable
+from repro.reachability.compression import compress
+from repro.reachability.hierarchy import build_index
+
+
+@pytest.fixture(scope="module")
+def social_graph():
+    return preferential_attachment_graph(800, edges_per_node=2, seed=5, back_edge_probability=0.05)
+
+
+@pytest.fixture(scope="module")
+def social_index(social_graph):
+    return build_index(social_graph, alpha=0.1)
+
+
+class TestBuildIndex:
+    def test_size_budget_respected(self, social_graph, social_index):
+        assert social_index.size() <= social_index.size_budget
+        assert social_index.size_budget <= max(2, int(0.1 * social_graph.size()))
+
+    def test_landmark_count_within_half_budget(self, social_index):
+        assert social_index.num_landmarks() <= social_index.size_budget // 2 + 1
+
+    def test_levels_structure(self, social_index):
+        assert social_index.num_levels() >= 1
+        # Level 1 holds every landmark; higher levels are subsets.
+        leaves = set(social_index.levels[0])
+        for level in social_index.levels[1:]:
+            assert set(level) <= leaves
+            assert len(level) <= len(leaves)
+
+    def test_landmark_info_populated(self, social_index):
+        for landmark, info in social_index.landmarks.items():
+            assert info.node == landmark
+            assert info.cover_size >= 1
+            assert info.range_low <= info.rank <= info.range_high
+            assert 1 <= info.level <= social_index.num_levels()
+
+    def test_index_edges_assert_true_reachability(self, social_graph, social_index):
+        dag = social_index.compressed.dag
+        checked = 0
+        for source, targets in social_index.forward_edges.items():
+            for target in targets:
+                assert is_reachable(dag, source, target)
+                checked += 1
+                if checked >= 50:
+                    return
+
+    def test_forward_and_backward_edge_views_consistent(self, social_index):
+        for source, targets in social_index.forward_edges.items():
+            for target in targets:
+                assert source in social_index.backward_edges[target]
+
+    def test_out_of_index_labels_are_landmarks(self, social_index):
+        for labels in list(social_index.forward_labels.values())[:50]:
+            assert all(social_index.is_landmark(landmark) for landmark in labels)
+        for labels in list(social_index.backward_labels.values())[:50]:
+            assert all(social_index.is_landmark(landmark) for landmark in labels)
+
+    def test_invalid_alpha_rejected(self, social_graph):
+        with pytest.raises(IndexBuildError):
+            build_index(social_graph, alpha=0.0)
+        with pytest.raises(IndexBuildError):
+            build_index(social_graph, alpha=1.5)
+
+    def test_accepts_precompressed_graph(self, social_graph):
+        compressed = compress(social_graph)
+        index = build_index(compressed, alpha=0.05, reference_size=social_graph.size())
+        assert index.compressed is compressed
+        assert index.size() <= index.size_budget
+
+    def test_empty_graph(self):
+        index = build_index(DiGraph(), alpha=0.5)
+        assert index.num_landmarks() == 0
+        assert index.size() == 0
+
+    def test_smaller_alpha_gives_smaller_index(self, social_graph):
+        small = build_index(social_graph, alpha=0.02)
+        large = build_index(social_graph, alpha=0.2)
+        assert small.size() <= large.size()
+        assert small.num_landmarks() <= large.num_landmarks()
+
+    def test_dag_input_without_cycles(self):
+        dag = layered_dag(layers=4, width=5, seed=7)
+        index = build_index(dag, alpha=0.2)
+        assert index.num_landmarks() >= 1
+        assert index.size() <= index.size_budget
+
+    def test_reference_size_controls_budget(self, social_graph):
+        small_ref = build_index(social_graph, alpha=0.1, reference_size=100)
+        assert small_ref.size_budget == 10
+        assert small_ref.size() <= 10

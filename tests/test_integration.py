@@ -1,0 +1,118 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These tests exercise the public API exactly the way the examples and the
+benchmark harness do: build a dataset, generate a workload, run the
+resource-bounded algorithms against their exact baselines, and check the
+paper's qualitative claims (bounded budgets, no false positives, accuracy
+that improves with alpha, RBReach's true-positive guarantee).
+"""
+
+import pytest
+
+from repro import (
+    RBReach,
+    RBSim,
+    RBSub,
+    example1_pattern,
+    generate_pattern_workload,
+    generate_reachability_workload,
+    match_opt,
+    pattern_accuracy,
+    vf2_opt,
+    youtube_like,
+)
+from repro.core.accuracy import boolean_accuracy, mean_accuracy
+from repro.reachability import BFSOptReachability, BFSReachability, LandmarkVectorReachability
+from tests.conftest import build_example1_graph
+
+
+class TestExample1EndToEnd:
+    """The paper's running example, end to end through every algorithm."""
+
+    def test_all_algorithms_agree_on_example1(self):
+        graph = build_example1_graph()
+        query = example1_pattern()
+        exact_sim = match_opt(query, graph, "Michael").answer
+        exact_iso = vf2_opt(query, graph, "Michael").answer
+        approx_sim = RBSim(graph, alpha=0.9).answer(query, "Michael").answer
+        approx_iso = RBSub(graph, alpha=0.9).answer(query, "Michael").answer
+        assert exact_sim == exact_iso == approx_sim == approx_iso == {"cl3", "cl4"}
+
+    def test_reachability_between_groups(self):
+        graph = build_example1_graph()
+        matcher = RBReach.from_graph(graph, alpha=0.9)
+        assert matcher.query("Michael", "cl3").reachable
+        assert not matcher.query("cl3", "Michael").reachable
+
+
+class TestPatternPipeline:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return youtube_like(num_nodes=1500)
+
+    def test_resource_bounded_pipeline(self, graph):
+        workload = generate_pattern_workload(graph, shape=(4, 6), count=3, seed=1)
+        sim = RBSim(graph, alpha=0.02)
+        sub = RBSub(graph, alpha=0.02)
+        sim_scores, sub_scores = [], []
+        for query in workload:
+            exact_sim = match_opt(query.pattern, graph, query.personalized_match)
+            approx_sim = sim.answer(query.pattern, query.personalized_match)
+            assert approx_sim.budget.within_size_bound
+            assert approx_sim.answer <= exact_sim.answer
+            sim_scores.append(pattern_accuracy(exact_sim.answer, approx_sim.answer))
+
+            exact_sub = vf2_opt(query.pattern, graph, query.personalized_match)
+            approx_sub = sub.answer(query.pattern, query.personalized_match)
+            assert approx_sub.budget.within_size_bound
+            assert approx_sub.answer <= exact_sub.answer
+            sub_scores.append(pattern_accuracy(exact_sub.answer, approx_sub.answer))
+        assert mean_accuracy(sim_scores).f_measure > 0.5
+        assert mean_accuracy(sub_scores).f_measure > 0.5
+
+    def test_accuracy_improves_with_alpha_on_average(self, graph):
+        workload = generate_pattern_workload(graph, shape=(4, 6), count=3, seed=2)
+        scores = {}
+        for alpha in (0.001, 0.2):
+            matcher = RBSim(graph, alpha=alpha)
+            reports = []
+            for query in workload:
+                exact = match_opt(query.pattern, graph, query.personalized_match).answer
+                approx = matcher.answer(query.pattern, query.personalized_match).answer
+                reports.append(pattern_accuracy(exact, approx))
+            scores[alpha] = mean_accuracy(reports).f_measure
+        assert scores[0.2] >= scores[0.001]
+
+
+class TestReachabilityPipeline:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return youtube_like(num_nodes=1500)
+
+    def test_rbreach_vs_baselines(self, graph):
+        workload = generate_reachability_workload(graph, count=60, seed=3)
+        rbreach = RBReach.from_graph(graph, alpha=0.05)
+        bfs = BFSReachability(graph)
+        bfsopt = BFSOptReachability(graph)
+        landmark = LandmarkVectorReachability(graph, seed=3)
+
+        rb_answers = rbreach.query_many(workload.pairs)
+        assert all(bfs.query(*pair).reachable == workload.truth[pair] for pair in workload.pairs)
+        assert all(bfsopt.query(*pair).reachable == workload.truth[pair] for pair in workload.pairs)
+
+        # RBReach: bounded visits, no false positives, decent accuracy.
+        false_positives = [
+            pair for pair in workload.pairs if rb_answers[pair] and not workload.truth[pair]
+        ]
+        assert not false_positives
+        rb_accuracy = boolean_accuracy(workload.truth, rb_answers).f_measure
+        lm_accuracy = boolean_accuracy(workload.truth, landmark.query_many(workload.pairs)).f_measure
+        assert rb_accuracy >= 0.8
+        # The hierarchical index should not be worse than the flat LM baseline
+        # by more than a small margin on its own surrogate.
+        assert rb_accuracy >= lm_accuracy - 0.1
+
+    def test_index_size_respects_alpha(self, graph):
+        for alpha in (0.01, 0.05):
+            matcher = RBReach.from_graph(graph, alpha=alpha)
+            assert matcher.index.size() <= max(2, int(alpha * graph.size()))

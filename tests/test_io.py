@@ -1,0 +1,85 @@
+"""Tests for edge-list and JSON graph serialisation."""
+
+import json
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_graph
+from repro.graph.io import (
+    from_json_dict,
+    read_edge_list,
+    read_json,
+    to_json_dict,
+    write_edge_list,
+    write_json,
+)
+
+
+@pytest.fixture
+def sample_graph() -> DiGraph:
+    return random_graph(25, 60, seed=11)
+
+
+class TestEdgeList:
+    def test_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_edge_list(sample_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == sample_graph
+
+    def test_missing_label_file_uses_default(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_edge_list(sample_graph, path)
+        (tmp_path / "graph.tsv.labels").unlink()
+        loaded = read_edge_list(path, default_label="?")
+        assert loaded.num_edges() == sample_graph.num_edges()
+        assert all(loaded.label(node) == "?" for node in loaded.nodes())
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("# a comment\n\n1\t2\n2\t3\n", encoding="utf-8")
+        loaded = read_edge_list(path)
+        assert loaded.num_nodes() == 3
+        assert loaded.num_edges() == 2
+
+    def test_malformed_edge_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1 2 3\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_string_node_ids_preserved(self, tmp_path):
+        graph = DiGraph.from_edges([("alice", "bob")], labels={"alice": "P", "bob": "P"})
+        path = tmp_path / "people.tsv"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.has_edge("alice", "bob")
+        assert loaded.label("alice") == "P"
+
+
+class TestJson:
+    def test_round_trip_via_dict(self, sample_graph):
+        assert from_json_dict(to_json_dict(sample_graph)) == sample_graph
+
+    def test_round_trip_via_file(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        write_json(sample_graph, path)
+        assert read_json(path) == sample_graph
+        # And the payload is genuine JSON.
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["format"] == "repro-digraph"
+
+    def test_wrong_format_marker_raises(self):
+        with pytest.raises(GraphError):
+            from_json_dict({"format": "something-else"})
+
+    def test_edge_with_unknown_node_raises(self):
+        payload = {
+            "format": "repro-digraph",
+            "nodes": [{"id": "1", "label": "A"}],
+            "edges": [{"source": "1", "target": "2"}],
+        }
+        with pytest.raises(GraphError):
+            from_json_dict(payload)

@@ -1,0 +1,107 @@
+"""Tests for greedy landmark selection and landmark graphs."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import layered_dag, path_graph
+from repro.graph.topology import TopologicalRankIndex
+from repro.graph.traversal import is_reachable
+from repro.reachability.landmarks import (
+    build_landmark_graph,
+    first_landmarks_hit,
+    greedy_landmarks,
+    landmark_reachability,
+    selection_scores,
+)
+
+
+@pytest.fixture
+def dag():
+    return layered_dag(layers=5, width=4, seed=2)
+
+
+class TestGreedySelection:
+    def test_requested_count(self, dag):
+        ranks = TopologicalRankIndex(dag)
+        landmarks = greedy_landmarks(dag, ranks, count=6, exclusion_radius=2)
+        assert len(landmarks) == 6
+        assert len(set(landmarks)) == 6
+
+    def test_zero_count(self, dag):
+        ranks = TopologicalRankIndex(dag)
+        assert greedy_landmarks(dag, ranks, count=0, exclusion_radius=2) == []
+
+    def test_count_larger_than_graph(self, dag):
+        ranks = TopologicalRankIndex(dag)
+        landmarks = greedy_landmarks(dag, ranks, count=10_000, exclusion_radius=1)
+        assert len(landmarks) <= dag.num_nodes()
+
+    def test_exclusion_radius_spreads_selection(self):
+        # A star: with a large exclusion radius, after picking the hub most
+        # leaves are excluded, so fewer landmarks are selected.
+        graph = DiGraph()
+        graph.add_node("hub", "H")
+        for leaf in range(10):
+            graph.add_node(leaf, "L")
+            graph.add_edge("hub", leaf)
+        ranks = TopologicalRankIndex(graph)
+        spread = greedy_landmarks(graph, ranks, count=11, exclusion_radius=10)
+        assert len(spread) < 11
+
+    def test_weights_bias_selection(self, dag):
+        ranks = TopologicalRankIndex(dag)
+        target = sorted(dag.nodes())[0]
+        weights = {node: 1.0 for node in dag.nodes()}
+        weights[target] = 10_000.0
+        landmarks = greedy_landmarks(dag, ranks, count=3, exclusion_radius=1, weights=weights)
+        assert target in landmarks
+
+    def test_selection_scores_nonnegative(self, dag):
+        ranks = TopologicalRankIndex(dag)
+        scores = selection_scores(dag, ranks)
+        assert all(score >= 0 for score in scores.values())
+
+
+class TestLandmarkLabels:
+    def test_first_landmarks_hit_stops_at_landmarks(self):
+        graph = path_graph(5)  # 0 -> 1 -> 2 -> 3 -> 4 -> 5
+        landmarks = {2, 4}
+        forward = first_landmarks_hit(graph, 0, landmarks, forward=True)
+        # The BFS stops at landmark 2 and never reaches 4.
+        assert forward == {2}
+
+    def test_backward_direction(self):
+        graph = path_graph(5)
+        backward = first_landmarks_hit(graph, 5, {3}, forward=False)
+        assert backward == {3}
+
+    def test_landmark_start_returns_empty(self):
+        graph = path_graph(3)
+        assert first_landmarks_hit(graph, 1, {1, 2}, forward=True) == set()
+
+    def test_max_labels_cap(self):
+        graph = DiGraph()
+        graph.add_node("s", "S")
+        for leaf in range(6):
+            graph.add_node(leaf, "L")
+            graph.add_edge("s", leaf)
+        labels = first_landmarks_hit(graph, "s", set(range(6)), forward=True, max_labels=3)
+        assert len(labels) == 3
+
+
+class TestLandmarkGraph:
+    def test_landmark_reachability_matches_bfs(self, dag):
+        landmarks = sorted(dag.nodes())[:8]
+        reach = landmark_reachability(dag, landmarks)
+        for source in landmarks:
+            for target in landmarks:
+                if source == target:
+                    continue
+                assert (target in reach[source]) == is_reachable(dag, source, target)
+
+    def test_build_landmark_graph_edges(self, dag):
+        landmarks = sorted(dag.nodes())[:6]
+        landmark_graph = build_landmark_graph(dag, landmarks)
+        assert set(landmark_graph.nodes()) == set(landmarks)
+        for source, target in landmark_graph.edges():
+            assert is_reachable(dag, source, target)

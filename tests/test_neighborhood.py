@@ -1,0 +1,98 @@
+"""Tests for r-hop neighbourhoods, balls and the Sl summaries."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import star_graph
+from repro.graph.neighborhood import (
+    NeighborhoodIndex,
+    ball,
+    ball_size,
+    max_label_fanout,
+    nodes_within_hops,
+    summarize_node,
+    theoretical_alpha_bound,
+)
+
+
+class TestNodesWithinHops:
+    def test_radius_zero_is_just_the_center(self, diamond_dag):
+        assert nodes_within_hops(diamond_dag, "a", 0) == {"a"}
+
+    def test_radius_counts_both_directions(self, diamond_dag):
+        # "d" is 1 hop from "b" (edge b->d) and 1 hop from "e" (edge d->e).
+        assert nodes_within_hops(diamond_dag, "d", 1) == {"b", "c", "d", "e"}
+
+    def test_radius_covers_whole_graph(self, diamond_dag):
+        assert nodes_within_hops(diamond_dag, "a", 3) == {"a", "b", "c", "d", "e"}
+
+    def test_negative_radius_raises(self, diamond_dag):
+        with pytest.raises(ValueError):
+            nodes_within_hops(diamond_dag, "a", -1)
+
+
+class TestBall:
+    def test_ball_is_induced(self, diamond_dag):
+        the_ball = ball(diamond_dag, "a", 1)
+        assert set(the_ball.nodes()) == {"a", "b", "c"}
+        assert the_ball.has_edge("a", "b") and the_ball.has_edge("a", "c")
+        assert the_ball.num_edges() == 2
+
+    def test_ball_size_matches_ball(self, diamond_dag):
+        assert ball_size(diamond_dag, "a", 2) == ball(diamond_dag, "a", 2).size()
+
+    def test_example1_ball_radius_two_contains_cycling_lovers(self, example1_graph):
+        the_ball = ball(example1_graph, "Michael", 2)
+        assert "cl3" in the_ball and "cl4" in the_ball
+
+
+class TestSummaries:
+    def test_summarize_node_counts_labels_by_direction(self, example1_graph):
+        summary = summarize_node(example1_graph, "Michael")
+        assert summary.degree == 6
+        assert summary.child_count("HG") == 3
+        assert summary.child_count("CC") == 3
+        assert summary.parent_count("HG") == 0
+        assert summary.count("CC") == 3
+
+    def test_summary_of_leaf(self, example1_graph):
+        summary = summarize_node(example1_graph, "cl4")
+        assert summary.degree == 2
+        assert summary.parent_count("CC") == 1
+        assert summary.parent_count("HG") == 1
+        assert summary.child_count("CC") == 0
+
+    def test_index_caches_and_precomputes(self, example1_graph):
+        index = NeighborhoodIndex(example1_graph)
+        assert len(index) == 0
+        first = index.summary("Michael")
+        assert len(index) == 1
+        assert index.summary("Michael") is first
+        index.precompute()
+        assert len(index) == example1_graph.num_nodes()
+
+    def test_index_predicates(self, example1_graph):
+        index = NeighborhoodIndex(example1_graph)
+        assert index.has_child_label("Michael", "HG")
+        assert not index.has_parent_label("Michael", "HG")
+        assert index.has_parent_label("cl3", "CC")
+        assert index.degree("cc2") == 1
+
+
+class TestFanoutAndBound:
+    def test_max_label_fanout_of_star(self):
+        graph = star_graph(7)
+        assert max_label_fanout(graph, 0, 1) == 7
+
+    def test_max_label_fanout_example1(self, example1_graph):
+        # Michael has 3 HG children and 3 CC children within the 2-ball.
+        assert max_label_fanout(example1_graph, "Michael", 2) == 3
+
+    def test_theoretical_alpha_bound_in_unit_interval(self, example1_graph):
+        bound = theoretical_alpha_bound(example1_graph, "Michael", 2, num_labels=4)
+        assert 0 < bound <= 1
+
+    def test_theoretical_alpha_bound_small_graph_is_one(self):
+        graph = DiGraph()
+        graph.add_node(0, "A")
+        assert theoretical_alpha_bound(graph, 0, 1, num_labels=1, fanout=1) == 1.0

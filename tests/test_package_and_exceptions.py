@@ -1,0 +1,67 @@
+"""Tests for the package surface (__init__ exports) and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists {name} but it is not importable"
+
+    def test_key_entry_points_exported(self):
+        for name in ("RBSim", "RBSub", "RBReach", "DiGraph", "GraphPattern",
+                     "youtube_like", "yahoo_like", "pattern_accuracy", "build_index"):
+            assert name in repro.__all__
+
+    def test_subpackages_importable(self):
+        import repro.core
+        import repro.experiments
+        import repro.graph
+        import repro.matching
+        import repro.patterns
+        import repro.reachability
+        import repro.workloads
+
+        for module in (repro.core, repro.graph, repro.matching, repro.patterns,
+                       repro.reachability, repro.workloads, repro.experiments):
+            assert module.__doc__, f"{module.__name__} must have a module docstring"
+
+    def test_public_classes_have_docstrings(self):
+        for name in repro.__all__:
+            attribute = getattr(repro, name)
+            if isinstance(attribute, type):
+                assert attribute.__doc__, f"{name} is missing a docstring"
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(exceptions):
+            candidate = getattr(exceptions, name)
+            if isinstance(candidate, type) and issubclass(candidate, Exception) and candidate is not exceptions.ReproError:
+                if candidate.__module__ == "repro.exceptions":
+                    assert issubclass(candidate, exceptions.ReproError)
+
+    def test_node_not_found_is_key_error(self):
+        error = exceptions.NodeNotFoundError("x")
+        assert isinstance(error, KeyError)
+        assert error.node == "x"
+        assert "x" in str(error)
+
+    def test_edge_not_found_records_endpoints(self):
+        error = exceptions.EdgeNotFoundError(1, 2)
+        assert error.source == 1 and error.target == 2
+
+    def test_catch_all_with_base_class(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.BudgetExhaustedError("out of budget")
+
+    def test_graph_errors_are_catchable_separately(self):
+        with pytest.raises(exceptions.GraphError):
+            raise exceptions.NodeNotFoundError("missing")

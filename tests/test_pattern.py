@@ -1,0 +1,110 @@
+"""Tests for the GraphPattern model."""
+
+import pytest
+
+from repro.exceptions import PatternError
+from repro.patterns.pattern import GraphPattern, example1_pattern, make_pattern
+
+
+class TestConstruction:
+    def test_basic_pattern(self):
+        pattern = make_pattern({0: "A", 1: "B"}, [(0, 1)], personalized=0, output=1)
+        assert pattern.num_nodes() == 2
+        assert pattern.num_edges() == 1
+        assert pattern.size() == 3
+        assert pattern.shape() == (2, 1)
+        assert pattern.personalized == 0
+        assert pattern.output == 1
+
+    def test_output_defaults_to_personalized(self):
+        pattern = make_pattern({0: "A", 1: "B"}, [(0, 1)], personalized=0)
+        assert pattern.output == 0
+
+    def test_duplicate_edges_collapse(self):
+        pattern = make_pattern({0: "A", 1: "B"}, [(0, 1), (0, 1)], personalized=0)
+        assert pattern.num_edges() == 1
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            GraphPattern(labels={}, edges=(), personalized=0, output=0)
+
+    def test_unknown_personalized_rejected(self):
+        with pytest.raises(PatternError):
+            make_pattern({0: "A"}, [], personalized=99)
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(PatternError):
+            GraphPattern(labels={0: "A"}, edges=(), personalized=0, output=7)
+
+    def test_edge_with_unknown_endpoint_rejected(self):
+        with pytest.raises(PatternError):
+            make_pattern({0: "A", 1: "B"}, [(0, 2)], personalized=0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PatternError):
+            make_pattern({0: "A"}, [(0, 0)], personalized=0)
+
+
+class TestStructure:
+    def test_children_parents_neighbors(self, example1_query):
+        assert set(example1_query.children("Michael")) == {"HG", "CC"}
+        assert set(example1_query.parents("CL")) == {"CC", "HG"}
+        assert set(example1_query.neighbors("CC")) == {"Michael", "CL"}
+        assert example1_query.degree("CL") == 2
+
+    def test_unknown_query_node_raises(self, example1_query):
+        with pytest.raises(PatternError):
+            example1_query.children("nope")
+        with pytest.raises(PatternError):
+            example1_query.label_of("nope")
+
+    def test_has_edge(self, example1_query):
+        assert example1_query.has_edge("Michael", "CC")
+        assert not example1_query.has_edge("CC", "Michael")
+
+    def test_labels(self, example1_query):
+        assert example1_query.label_of("CL") == "CL"
+        assert example1_query.distinct_labels() == {"Michael", "HG", "CC", "CL"}
+        assert example1_query.num_distinct_labels() == 4
+
+
+class TestDiameterAndValidation:
+    def test_example1_diameter_is_two(self, example1_query):
+        assert example1_query.diameter() == 2
+        assert example1_query.undirected_diameter() == 2
+
+    def test_single_node_diameter_zero(self):
+        pattern = make_pattern({0: "A"}, [], personalized=0)
+        assert pattern.diameter() == 0
+
+    def test_single_edge_diameter_one(self):
+        pattern = make_pattern({0: "A", 1: "B"}, [(0, 1)], personalized=0)
+        assert pattern.diameter() == 1
+
+    def test_path_pattern_diameter(self):
+        pattern = make_pattern({0: "A", 1: "B", 2: "C"}, [(0, 1), (1, 2)], personalized=0, output=2)
+        assert pattern.diameter() == 2
+
+    def test_connected_pattern_validates(self, example1_query):
+        assert example1_query.is_connected()
+        example1_query.validate()
+
+    def test_disconnected_pattern_fails_validation(self):
+        pattern = make_pattern({0: "A", 1: "B", 2: "C"}, [(0, 1)], personalized=0)
+        assert not pattern.is_connected()
+        with pytest.raises(PatternError):
+            pattern.validate()
+
+    def test_to_digraph_mirrors_pattern(self, example1_query):
+        graph = example1_query.to_digraph()
+        assert graph.num_nodes() == example1_query.num_nodes()
+        assert graph.num_edges() == example1_query.num_edges()
+        assert graph.label("CC") == "CC"
+
+
+class TestExample1Pattern:
+    def test_shape_and_anchors(self):
+        pattern = example1_pattern()
+        assert pattern.shape() == (4, 4)
+        assert pattern.personalized == "Michael"
+        assert pattern.output == "CL"

@@ -1,0 +1,80 @@
+"""Tests for the pattern workload generators."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import DEFAULT_ALPHABET, path_graph
+from repro.matching.strong_simulation import strong_simulation
+from repro.patterns.generator import embedded_pattern, pattern_workload, random_pattern
+
+
+class TestRandomPattern:
+    def test_requested_shape(self):
+        pattern = random_pattern(5, 7, DEFAULT_ALPHABET, seed=1)
+        assert pattern.shape() == (5, 7)
+
+    def test_connected(self):
+        pattern = random_pattern(6, 8, DEFAULT_ALPHABET, seed=2)
+        assert pattern.is_connected()
+
+    def test_personalized_label_override(self):
+        pattern = random_pattern(4, 4, DEFAULT_ALPHABET, seed=3, personalized_label="ME")
+        assert pattern.label_of(pattern.personalized) == "ME"
+
+    def test_deterministic(self):
+        assert random_pattern(4, 5, DEFAULT_ALPHABET, seed=4).edges == random_pattern(
+            4, 5, DEFAULT_ALPHABET, seed=4
+        ).edges
+
+    def test_impossible_shapes_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_pattern(0, 0, DEFAULT_ALPHABET)
+        with pytest.raises(WorkloadError):
+            random_pattern(3, 1, DEFAULT_ALPHABET)  # cannot be connected
+        with pytest.raises(WorkloadError):
+            random_pattern(3, 10, DEFAULT_ALPHABET)  # too many edges
+
+
+class TestEmbeddedPattern:
+    def test_embedded_pattern_has_nonempty_exact_answer(self, small_social_graph):
+        pattern, match = embedded_pattern(small_social_graph, 4, 5, seed=7)
+        assert pattern.shape()[0] == 4
+        result = strong_simulation(pattern, small_social_graph, match)
+        assert result.answer, "an embedded pattern must match the graph it came from"
+
+    def test_personalized_node_is_returned_seed(self, small_social_graph):
+        pattern, match = embedded_pattern(small_social_graph, 4, 5, seed=9)
+        assert match in small_social_graph
+        # The personalized query node carries a synthetic identity label.
+        label = pattern.label_of(pattern.personalized)
+        assert isinstance(label, tuple) and label[0] == "@person"
+
+    def test_output_node_differs_from_personalized(self, small_social_graph):
+        pattern, _ = embedded_pattern(small_social_graph, 5, 6, seed=11)
+        assert pattern.output != pattern.personalized
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(WorkloadError):
+            embedded_pattern(DiGraph(), 3, 3)
+
+    def test_too_large_pattern_rejected(self):
+        graph = path_graph(2)  # 3 nodes in a path
+        with pytest.raises(WorkloadError):
+            embedded_pattern(graph, 10, 12, seed=1)
+
+    def test_specific_personalized_node(self, small_social_graph):
+        seed_node = max(small_social_graph.nodes(), key=small_social_graph.degree)
+        pattern, match = embedded_pattern(
+            small_social_graph, 4, 5, seed=3, personalized_node=seed_node
+        )
+        assert match == seed_node
+
+
+class TestPatternWorkloadHelper:
+    def test_generates_requested_count(self, small_social_graph):
+        workload = pattern_workload(small_social_graph, (4, 5), count=3, seed=5)
+        assert len(workload) == 3
+        for pattern, match in workload:
+            assert pattern.shape()[0] == 4
+            assert match in small_social_graph

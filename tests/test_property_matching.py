@@ -1,0 +1,146 @@
+"""Property-based tests for matching semantics and resource-bounded answers.
+
+The key invariants checked here mirror the paper's claims:
+
+* dual simulation relations verify against their definition;
+* subgraph-isomorphism answers are always a subset of dual-simulation answers
+  restricted to the same ball (isomorphism is a stricter semantics);
+* the resource-bounded algorithms never exceed their budget and never return
+  a node that the exact algorithm rejects (no false positives for patterns —
+  both evaluate on subgraphs of the same ball);
+* RBReach never returns a false positive (Theorem 4(c)).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import ResourceBudget
+from repro.core.rbsim import rbsim
+from repro.core.rbsub import rbsub
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import bidirectional_reachable
+from repro.matching.simulation import dual_simulation, verify_dual_simulation
+from repro.matching.strong_simulation import strong_simulation
+from repro.matching.vf2 import vf2_opt
+from repro.patterns.generator import embedded_pattern
+from repro.reachability.rbreach import RBReach
+
+
+@st.composite
+def labeled_graphs(draw, min_nodes=6, max_nodes=20):
+    """Connected-ish random digraphs with a small label alphabet."""
+    num_nodes = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    labels = draw(
+        st.lists(st.sampled_from(["A", "B", "C", "D"]), min_size=num_nodes, max_size=num_nodes)
+    )
+    graph = DiGraph()
+    for node, label in enumerate(labels):
+        graph.add_node(node, label)
+    # A random tree backbone keeps the graph weakly connected.
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    for node in range(1, num_nodes):
+        anchor = rng.randrange(node)
+        if rng.random() < 0.5:
+            graph.add_edge(anchor, node)
+        else:
+            graph.add_edge(node, anchor)
+    extra = draw(st.integers(min_value=0, max_value=2 * num_nodes))
+    for _ in range(extra):
+        source = rng.randrange(num_nodes)
+        target = rng.randrange(num_nodes)
+        if source != target:
+            graph.add_edge(source, target)
+    return graph
+
+
+@settings(max_examples=30, deadline=None)
+@given(labeled_graphs(), st.integers(min_value=0, max_value=10_000))
+def test_dual_simulation_relation_verifies(graph, seed):
+    try:
+        pattern, vp = embedded_pattern(graph, 3, 3, seed=seed)
+    except Exception:
+        return  # graph too sparse for an embedded pattern: nothing to check
+    relation = dual_simulation(pattern, graph, vp)
+    assert verify_dual_simulation(pattern, graph, relation, vp)
+
+
+@settings(max_examples=25, deadline=None)
+@given(labeled_graphs(), st.integers(min_value=0, max_value=10_000))
+def test_isomorphism_answer_subset_of_simulation(graph, seed):
+    try:
+        pattern, vp = embedded_pattern(graph, 3, 3, seed=seed)
+    except Exception:
+        return
+    sim_answer = strong_simulation(pattern, graph, vp).answer
+    iso_answer = vf2_opt(pattern, graph, vp).answer
+    assert iso_answer <= sim_answer
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    labeled_graphs(),
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=0.05, max_value=0.9),
+)
+def test_rbsim_budget_and_no_false_positives(graph, seed, alpha):
+    try:
+        pattern, vp = embedded_pattern(graph, 3, 3, seed=seed)
+    except Exception:
+        return
+    exact = strong_simulation(pattern, graph, vp).answer
+    answer = rbsim(pattern, graph, vp, alpha=alpha)
+    assert answer.subgraph_size <= max(1, int(alpha * graph.size()))
+    assert answer.answer <= exact
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    labeled_graphs(),
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=0.05, max_value=0.9),
+)
+def test_rbsub_budget_and_no_false_positives(graph, seed, alpha):
+    try:
+        pattern, vp = embedded_pattern(graph, 3, 3, seed=seed)
+    except Exception:
+        return
+    exact = vf2_opt(pattern, graph, vp).answer
+    answer = rbsub(pattern, graph, vp, alpha=alpha)
+    assert answer.subgraph_size <= max(1, int(alpha * graph.size()))
+    assert answer.answer <= exact
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    labeled_graphs(min_nodes=8, max_nodes=24),
+    st.floats(min_value=0.05, max_value=0.5),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_rbreach_no_false_positives(graph, alpha, seed):
+    """Theorem 4(c): RBReach returns True only when the pair is truly reachable."""
+    matcher = RBReach.from_graph(graph, alpha=alpha)
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes())
+    for _ in range(10):
+        source = rng.choice(nodes)
+        target = rng.choice(nodes)
+        if matcher.query(source, target).reachable:
+            assert source == target or bidirectional_reachable(graph, source, target)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=0.001, max_value=1.0),
+    st.integers(min_value=1, max_value=100_000),
+    st.floats(min_value=0.5, max_value=500.0),
+)
+def test_budget_limits_are_consistent(alpha, graph_size, coefficient):
+    """size_limit <= alpha*|G| (+1 floor) and visit limit scales with c."""
+    budget = ResourceBudget(alpha=alpha, graph_size=graph_size, visit_coefficient=coefficient)
+    assert budget.size_limit >= 1
+    assert budget.size_limit <= max(1, int(alpha * graph_size))
+    assert budget.visit_limit >= 1
+    assert budget.visit_limit <= max(1, int(coefficient * alpha * graph_size))

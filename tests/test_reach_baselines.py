@@ -1,0 +1,99 @@
+"""Tests for the BFS, BFSOpt and LM reachability baselines."""
+
+import pytest
+
+from repro.graph.generators import path_graph, preferential_attachment_graph
+from repro.graph.traversal import bidirectional_reachable
+from repro.reachability.baselines import (
+    BFSOptReachability,
+    BFSReachability,
+    LandmarkVectorReachability,
+    exact_answers,
+)
+from repro.workloads.queries import generate_reachability_workload
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return preferential_attachment_graph(500, edges_per_node=2, seed=17, back_edge_probability=0.1)
+
+
+@pytest.fixture(scope="module")
+def workload(graph):
+    return generate_reachability_workload(graph, count=60, seed=4)
+
+
+class TestBFS:
+    def test_exact_on_path(self):
+        graph = path_graph(8)
+        bfs = BFSReachability(graph)
+        assert bfs.query(0, 8).reachable
+        assert not bfs.query(8, 0).reachable
+        assert bfs.query(3, 3).reachable
+
+    def test_matches_oracle(self, graph, workload):
+        bfs = BFSReachability(graph)
+        for pair in workload.pairs:
+            assert bfs.query(*pair).reachable == workload.truth[pair]
+
+    def test_visit_count_reported(self, graph, workload):
+        bfs = BFSReachability(graph)
+        answer = bfs.query(*workload.pairs[0])
+        assert answer.visited >= 1
+
+
+class TestBFSOpt:
+    def test_matches_bfs_on_workload(self, graph, workload):
+        bfs = BFSReachability(graph)
+        bfsopt = BFSOptReachability(graph)
+        for pair in workload.pairs:
+            assert bfsopt.query(*pair).reachable == bfs.query(*pair).reachable
+
+    def test_same_component_shortcut(self, two_cycle_graph):
+        bfsopt = BFSOptReachability(two_cycle_graph)
+        answer = bfsopt.query(0, 2)
+        assert answer.reachable
+        assert answer.visited == 1
+
+    def test_unknown_nodes(self, graph):
+        bfsopt = BFSOptReachability(graph)
+        assert not bfsopt.query("nope", "also-nope").reachable
+
+    def test_exact_answers_helper(self, graph, workload):
+        answers = exact_answers(graph, workload.pairs)
+        assert answers == workload.truth
+
+
+class TestLandmarkVector:
+    def test_no_false_positives(self, graph, workload):
+        landmark = LandmarkVectorReachability(graph, seed=2)
+        for pair in workload.pairs:
+            if landmark.query(*pair).reachable:
+                assert bidirectional_reachable(graph, *pair)
+
+    def test_self_query_true(self, graph):
+        landmark = LandmarkVectorReachability(graph, seed=2)
+        node = next(iter(graph.nodes()))
+        assert landmark.query(node, node).reachable
+
+    def test_default_landmark_count_is_4_log_v(self, graph):
+        import math
+
+        landmark = LandmarkVectorReachability(graph, seed=2)
+        assert len(landmark.landmarks) == max(1, int(4 * math.log(graph.num_nodes())))
+
+    def test_explicit_landmark_count(self, graph):
+        landmark = LandmarkVectorReachability(graph, num_landmarks=5, seed=2)
+        assert len(landmark.landmarks) == 5
+
+    def test_query_many_covers_all_pairs(self, graph, workload):
+        landmark = LandmarkVectorReachability(graph, seed=2)
+        answers = landmark.query_many(workload.pairs)
+        assert set(answers) == set(workload.pairs)
+
+    def test_recall_below_perfect_is_allowed_but_not_zero(self, graph, workload):
+        from repro.core.accuracy import boolean_accuracy
+
+        landmark = LandmarkVectorReachability(graph, seed=2)
+        report = boolean_accuracy(workload.truth, landmark.query_many(workload.pairs))
+        assert report.f_measure > 0.4

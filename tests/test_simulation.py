@@ -1,0 +1,121 @@
+"""Tests for graph simulation and dual simulation."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.matching.simulation import (
+    dual_simulation,
+    graph_simulation,
+    output_matches,
+    relation_is_empty,
+    verify_dual_simulation,
+)
+from repro.patterns.pattern import make_pattern
+
+
+@pytest.fixture
+def chain_pattern():
+    """A -> B -> C path pattern, personalized at the A node."""
+    return make_pattern({0: "A", 1: "B", 2: "C"}, [(0, 1), (1, 2)], personalized=0, output=2)
+
+
+@pytest.fixture
+def chain_graph():
+    graph = DiGraph()
+    for node, label in [(1, "A"), (2, "B"), (3, "C"), (4, "B"), (5, "C"), (6, "B")]:
+        graph.add_node(node, label)
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    graph.add_edge(1, 4)
+    graph.add_edge(4, 5)
+    graph.add_edge(1, 6)  # B node with no C child
+    return graph
+
+
+class TestDualSimulation:
+    def test_finds_expected_matches(self, chain_pattern, chain_graph):
+        relation = dual_simulation(chain_pattern, chain_graph, personalized_match=1)
+        assert relation[0] == {1}
+        assert relation[1] == {2, 4}  # node 6 has no C child
+        assert relation[2] == {3, 5}
+        assert output_matches(chain_pattern, relation) == {3, 5}
+
+    def test_relation_verifies(self, chain_pattern, chain_graph):
+        relation = dual_simulation(chain_pattern, chain_graph, personalized_match=1)
+        assert verify_dual_simulation(chain_pattern, chain_graph, relation, personalized_match=1)
+
+    def test_empty_when_personalized_missing(self, chain_pattern, chain_graph):
+        relation = dual_simulation(chain_pattern, chain_graph, personalized_match=999)
+        assert relation_is_empty(relation)
+
+    def test_empty_when_label_absent(self, chain_graph):
+        pattern = make_pattern({0: "A", 1: "Z"}, [(0, 1)], personalized=0, output=1)
+        relation = dual_simulation(pattern, chain_graph, personalized_match=1)
+        assert relation_is_empty(relation)
+
+    def test_parent_condition_enforced(self):
+        # Pattern B <- A -> C plus C requiring a B parent: b1 -> c1 and a -> c1.
+        pattern = make_pattern(
+            {0: "A", 1: "B", 2: "C"}, [(0, 1), (0, 2), (1, 2)], personalized=0, output=2
+        )
+        graph = DiGraph()
+        for node, label in [("a", "A"), ("b", "B"), ("c_ok", "C"), ("c_orphan", "C")]:
+            graph.add_node(node, label)
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "c_ok")
+        graph.add_edge("a", "c_orphan")
+        graph.add_edge("b", "c_ok")
+        relation = dual_simulation(pattern, graph, personalized_match="a")
+        assert relation[2] == {"c_ok"}
+
+    def test_example1_matches(self, example1_graph, example1_query):
+        relation = dual_simulation(example1_query, example1_graph, personalized_match="Michael")
+        assert output_matches(example1_query, relation) == {"cl3", "cl4"}
+        assert relation["CC"] == {"cc1", "cc3"}
+        assert relation["HG"] == {"hg3"}
+
+    def test_cyclic_data_graph(self):
+        pattern = make_pattern({0: "X", 1: "X"}, [(0, 1)], personalized=0, output=1)
+        graph = DiGraph()
+        graph.add_node(1, "X")
+        graph.add_node(2, "X")
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        relation = dual_simulation(pattern, graph, personalized_match=1)
+        # The personalized node is pinned to data node 1, so only node 2 has a
+        # parent matching it; node 1's parent (node 2) is not the pinned match.
+        assert relation[1] == {2}
+
+
+class TestGraphSimulation:
+    def test_graph_simulation_is_weaker_than_dual(self, example1_graph, example1_query):
+        simple = graph_simulation(example1_query, example1_graph, personalized_match="Michael")
+        dual = dual_simulation(example1_query, example1_graph, personalized_match="Michael")
+        for query_node in example1_query.nodes():
+            assert dual[query_node] <= simple[query_node]
+
+    def test_graph_simulation_child_condition(self):
+        # Sanity-check of the child-preservation condition on a tiny graph.
+        pattern = make_pattern({0: "A", 1: "C"}, [(0, 1)], personalized=0, output=1)
+        graph = DiGraph()
+        graph.add_node("a", "A")
+        graph.add_node("c", "C")
+        graph.add_edge("a", "c")
+        relation = graph_simulation(pattern, graph, personalized_match="a")
+        assert relation[1] == {"c"}
+
+
+class TestVerifier:
+    def test_verifier_accepts_empty_relation(self, example1_graph, example1_query):
+        empty = {node: set() for node in example1_query.nodes()}
+        assert verify_dual_simulation(example1_query, example1_graph, empty, "Michael")
+
+    def test_verifier_rejects_label_violation(self, example1_graph, example1_query):
+        relation = dual_simulation(example1_query, example1_graph, "Michael")
+        relation["CL"] = set(relation["CL"]) | {"hg1"}  # wrong label
+        assert not verify_dual_simulation(example1_query, example1_graph, relation, "Michael")
+
+    def test_verifier_rejects_unpinned_personalized(self, example1_graph, example1_query):
+        relation = dual_simulation(example1_query, example1_graph, "Michael")
+        relation["Michael"] = {"cc1"}
+        assert not verify_dual_simulation(example1_query, example1_graph, relation, "Michael")

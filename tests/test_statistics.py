@@ -1,0 +1,99 @@
+"""Tests for graph statistics, label indexing and dataset profiles."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import star_graph
+from repro.graph.statistics import (
+    LabelIndex,
+    average_degree,
+    degree_histogram,
+    density,
+    label_cooccurrence,
+    label_histogram,
+    maximum_label_fanout,
+    profile,
+    summarize_for_report,
+    top_degree_nodes,
+)
+
+
+@pytest.fixture
+def labeled_graph() -> DiGraph:
+    graph = DiGraph()
+    graph.add_node(1, "A")
+    graph.add_node(2, "A")
+    graph.add_node(3, "B")
+    graph.add_node(4, "C")
+    graph.add_edge(1, 2)
+    graph.add_edge(1, 3)
+    graph.add_edge(2, 3)
+    graph.add_edge(3, 4)
+    return graph
+
+
+class TestLabelIndex:
+    def test_nodes_with_and_count(self, labeled_graph):
+        index = LabelIndex(labeled_graph)
+        assert index.nodes_with("A") == {1, 2}
+        assert index.count("B") == 1
+        assert index.count("missing") == 0
+        assert index.labels() == {"A", "B", "C"}
+
+    def test_rarest_label(self, labeled_graph):
+        index = LabelIndex(labeled_graph)
+        assert index.rarest_label(["A", "B"]) == "B"
+        with pytest.raises(ValueError):
+            index.rarest_label([])
+
+    def test_returned_sets_are_copies(self, labeled_graph):
+        index = LabelIndex(labeled_graph)
+        index.nodes_with("A").add(99)
+        assert index.nodes_with("A") == {1, 2}
+
+
+class TestHistograms:
+    def test_degree_histogram(self, labeled_graph):
+        histogram = degree_histogram(labeled_graph)
+        assert sum(histogram.values()) == labeled_graph.num_nodes()
+        assert histogram[1] == 1  # node 4
+
+    def test_label_histogram(self, labeled_graph):
+        assert label_histogram(labeled_graph) == {"A": 2, "B": 1, "C": 1}
+
+    def test_average_degree_and_density(self, labeled_graph):
+        assert average_degree(labeled_graph) == pytest.approx(1.0)
+        assert density(labeled_graph) == pytest.approx(4 / 12)
+        assert average_degree(DiGraph()) == 0.0
+        assert density(DiGraph()) == 0.0
+
+
+class TestProfileAndReports:
+    def test_profile_fields(self, labeled_graph):
+        stats = profile(labeled_graph)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 4
+        assert stats.size == 8
+        assert stats.num_labels == 3
+        assert stats.max_degree == labeled_graph.max_degree()
+        assert len(stats.as_row()) == 7
+
+    def test_summarize_for_report(self, labeled_graph):
+        report = summarize_for_report(labeled_graph, "toy")
+        assert report["dataset"] == "toy"
+        assert report["nodes"] == 4
+        assert report["size"] == 8
+
+    def test_top_degree_nodes(self, labeled_graph):
+        top = top_degree_nodes(labeled_graph, 2)
+        assert len(top) == 2
+        assert top[0] == 3  # degree 3
+
+    def test_label_cooccurrence(self, labeled_graph):
+        cooccurrence = label_cooccurrence(labeled_graph)
+        assert cooccurrence[("A", "B")] == 2
+        assert cooccurrence[("B", "C")] == 1
+
+    def test_maximum_label_fanout(self):
+        graph = star_graph(5)
+        assert maximum_label_fanout(graph) == 5

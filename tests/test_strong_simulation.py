@@ -1,0 +1,77 @@
+"""Tests for strong simulation (Match / MatchOpt baselines)."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.matching.strong_simulation import match_in_subgraph, match_opt, strong_simulation
+from repro.patterns.pattern import make_pattern
+
+
+class TestStrongSimulation:
+    def test_example1_answer(self, example1_graph, example1_query):
+        result = strong_simulation(example1_query, example1_graph, "Michael")
+        assert result.answer == {"cl3", "cl4"}
+        assert result.ball_size > 0
+        assert result.visited >= result.ball_size
+
+    def test_match_opt_is_alias(self, example1_graph, example1_query):
+        assert match_opt(example1_query, example1_graph, "Michael").answer == {"cl3", "cl4"}
+
+    def test_missing_personalized_node_gives_empty_answer(self, example1_graph, example1_query):
+        result = strong_simulation(example1_query, example1_graph, "nobody")
+        assert result.answer == set()
+        assert result.ball_size == 0
+
+    def test_ball_restriction_excludes_far_matches(self):
+        # Pattern: A -> B (diameter 1).  A long chain a -> x -> b places the
+        # second B outside the 1-ball of the personalized match, so only the
+        # direct child matches.
+        pattern = make_pattern({0: "A", 1: "B"}, [(0, 1)], personalized=0, output=1)
+        graph = DiGraph()
+        for node, label in [("a", "A"), ("b1", "B"), ("mid", "M"), ("a2", "A"), ("b2", "B")]:
+            graph.add_node(node, label)
+        graph.add_edge("a", "b1")
+        graph.add_edge("a", "mid")
+        graph.add_edge("mid", "a2")
+        graph.add_edge("a2", "b2")
+        result = strong_simulation(pattern, graph, "a")
+        assert result.answer == {"b1"}
+
+    def test_explicit_radius_override(self, example1_graph, example1_query):
+        # Radius 1 excludes the CL nodes (2 hops from Michael): no match.
+        result = strong_simulation(example1_query, example1_graph, "Michael", radius=1)
+        assert result.answer == set()
+
+    def test_no_match_when_constraint_unsatisfied(self, example1_graph):
+        pattern = make_pattern(
+            {"Michael": "Michael", "HG": "HG", "X": "DOES-NOT-EXIST"},
+            [("Michael", "HG"), ("HG", "X")],
+            personalized="Michael",
+            output="X",
+        )
+        result = strong_simulation(pattern, example1_graph, "Michael")
+        assert result.answer == set()
+
+
+class TestMatchInSubgraph:
+    def test_match_in_reduced_subgraph(self, example1_graph, example1_query):
+        from repro.graph.subgraph import induced_subgraph
+
+        subgraph = induced_subgraph(
+            example1_graph, ["Michael", "cc1", "cc3", "hg3", "cl3", "cl4"]
+        )
+        answer = match_in_subgraph(example1_query, subgraph, "Michael")
+        assert answer == {"cl3", "cl4"}
+
+    def test_subgraph_answer_is_subset_of_exact(self, example1_graph, example1_query):
+        from repro.graph.subgraph import induced_subgraph
+
+        exact = strong_simulation(example1_query, example1_graph, "Michael").answer
+        # Remove cc3 so cl4 loses its only CC parent in the subgraph.
+        subgraph = induced_subgraph(example1_graph, ["Michael", "cc1", "hg3", "cl3", "cl4"])
+        approx = match_in_subgraph(example1_query, subgraph, "Michael")
+        assert approx <= exact
+        assert approx == {"cl3"}
+
+    def test_empty_subgraph_gives_empty_answer(self, example1_query):
+        assert match_in_subgraph(example1_query, DiGraph(), "Michael") == set()

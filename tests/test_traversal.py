@@ -1,0 +1,134 @@
+"""Tests for BFS/DFS traversal, reachability and diameter helpers."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_graph
+from repro.graph.traversal import (
+    ancestors,
+    bfs_levels,
+    bfs_order,
+    bidirectional_reachable,
+    connected_component,
+    descendants,
+    dfs_order,
+    diameter,
+    eccentricity,
+    is_reachable,
+    shortest_path,
+    weakly_connected_components,
+)
+
+
+class TestBFS:
+    def test_bfs_order_visits_everything_reachable(self, diamond_dag):
+        order = list(bfs_order(diamond_dag, "a"))
+        assert order[0] == "a"
+        assert set(order) == {"a", "b", "c", "d", "e"}
+
+    def test_bfs_backward(self, diamond_dag):
+        assert set(bfs_order(diamond_dag, "d", direction="backward")) == {"a", "b", "c", "d"}
+
+    def test_bfs_levels_hop_distances(self, diamond_dag):
+        levels = bfs_levels(diamond_dag, "a", direction="forward")
+        assert levels == {"a": 0, "b": 1, "c": 1, "d": 2, "e": 3}
+
+    def test_bfs_levels_respects_max_hops(self, diamond_dag):
+        levels = bfs_levels(diamond_dag, "a", max_hops=1, direction="forward")
+        assert set(levels) == {"a", "b", "c"}
+
+    def test_bfs_levels_both_directions(self, diamond_dag):
+        levels = bfs_levels(diamond_dag, "d", max_hops=1, direction="both")
+        assert set(levels) == {"d", "b", "c", "e"}
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            list(bfs_order(DiGraph(), "x"))
+
+    def test_invalid_direction_raises(self, diamond_dag):
+        with pytest.raises(ValueError):
+            list(bfs_order(diamond_dag, "a", direction="sideways"))
+
+
+class TestDFS:
+    def test_dfs_preorder_starts_at_source(self, diamond_dag):
+        order = list(dfs_order(diamond_dag, "a"))
+        assert order[0] == "a"
+        assert set(order) == {"a", "b", "c", "d", "e"}
+
+    def test_dfs_on_path_is_the_path(self):
+        graph = path_graph(4)
+        assert list(dfs_order(graph, 0)) == [0, 1, 2, 3, 4]
+
+
+class TestReachability:
+    def test_reachable_forward(self, diamond_dag):
+        assert is_reachable(diamond_dag, "a", "e")
+        assert not is_reachable(diamond_dag, "e", "a")
+
+    def test_reachable_self(self, diamond_dag):
+        assert is_reachable(diamond_dag, "c", "c")
+
+    def test_visit_counter_accumulates(self, diamond_dag):
+        counter = [0]
+        is_reachable(diamond_dag, "a", "e", visit_counter=counter)
+        assert counter[0] > 0
+
+    def test_bidirectional_matches_bfs(self, small_random_graph):
+        nodes = sorted(small_random_graph.nodes())[:15]
+        for source in nodes[:5]:
+            for target in nodes[5:10]:
+                assert bidirectional_reachable(small_random_graph, source, target) == is_reachable(
+                    small_random_graph, source, target
+                )
+
+    def test_unknown_nodes_raise(self, diamond_dag):
+        with pytest.raises(NodeNotFoundError):
+            is_reachable(diamond_dag, "a", "zzz")
+        with pytest.raises(NodeNotFoundError):
+            bidirectional_reachable(diamond_dag, "zzz", "a")
+
+    def test_descendants_and_ancestors(self, diamond_dag):
+        assert descendants(diamond_dag, "a") == {"b", "c", "d", "e"}
+        assert ancestors(diamond_dag, "d") == {"a", "b", "c"}
+        assert descendants(diamond_dag, "e") == set()
+
+
+class TestPathsAndDiameter:
+    def test_shortest_path_length(self, diamond_dag):
+        path = shortest_path(diamond_dag, "a", "e")
+        assert path[0] == "a" and path[-1] == "e"
+        assert len(path) == 4
+
+    def test_shortest_path_missing_returns_none(self, diamond_dag):
+        assert shortest_path(diamond_dag, "e", "a") is None
+
+    def test_shortest_path_to_self(self, diamond_dag):
+        assert shortest_path(diamond_dag, "b", "b") == ["b"]
+
+    def test_eccentricity_and_diameter_of_path(self):
+        graph = path_graph(5)
+        assert eccentricity(graph, 0) == 5
+        assert diameter(graph) == 5
+        assert diameter(graph, directed=True) == 5
+
+    def test_directed_vs_undirected_diameter(self, diamond_dag):
+        assert diameter(diamond_dag, directed=False) >= diameter(diamond_dag, directed=True) - 1
+        assert diameter(diamond_dag, directed=True) == 3
+
+    def test_diameter_with_sampling(self):
+        graph = path_graph(20)
+        assert diameter(graph, sample=5) <= 20
+
+
+class TestComponents:
+    def test_connected_component(self, two_cycle_graph):
+        assert connected_component(two_cycle_graph, 0) == {0, 1, 2, 3, 4, 5}
+
+    def test_weakly_connected_components_split(self):
+        graph = DiGraph.from_edges([(1, 2), (3, 4)])
+        graph.add_node(5, "isolated")
+        components = weakly_connected_components(graph)
+        assert len(components) == 3
+        assert {1, 2} in components and {3, 4} in components and {5} in components

@@ -1,0 +1,80 @@
+"""Tests for the dataset registry and alpha rescaling."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.datasets import (
+    YAHOO_PAPER_SIZE,
+    YOUTUBE_PAPER_SIZE,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+    scale_alpha,
+    synthetic,
+    synthetic_series,
+    yahoo_like,
+    youtube_like,
+)
+
+
+class TestSurrogates:
+    def test_youtube_like_shape(self):
+        graph = youtube_like(num_nodes=2000)
+        assert graph.num_nodes() == 2000
+        # Average degree close to the Youtube crawl's ~2.8.
+        assert 1.5 <= graph.num_edges() / graph.num_nodes() <= 4.0
+
+    def test_yahoo_like_is_denser_than_youtube(self):
+        youtube = youtube_like(num_nodes=2000)
+        yahoo = yahoo_like(num_nodes=2000)
+        assert yahoo.num_edges() / yahoo.num_nodes() > youtube.num_edges() / youtube.num_nodes()
+
+    def test_surrogates_are_deterministic(self):
+        assert youtube_like(seed=3, num_nodes=500) == youtube_like(seed=3, num_nodes=500)
+
+    def test_synthetic_follows_paper_parameters(self):
+        graph = synthetic(1500)
+        assert graph.num_nodes() == 1500
+        assert graph.num_edges() == 3000
+        assert len(graph.distinct_labels()) <= 15
+
+    def test_synthetic_series_sizes(self):
+        series = synthetic_series([500, 1000])
+        assert set(series) == {500, 1000}
+        assert series[500].num_nodes() == 500
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        names = available_datasets()
+        assert {"youtube", "yahoo", "youtube-small", "yahoo-small"} <= set(names)
+
+    def test_dataset_spec_lookup(self):
+        spec = dataset_spec("youtube-small")
+        assert spec.paper_size == YOUTUBE_PAPER_SIZE
+        graph = spec.build(seed=1)
+        assert graph.num_nodes() > 0
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(WorkloadError):
+            dataset_spec("not-a-dataset")
+
+    def test_load_dataset(self):
+        graph = load_dataset("yahoo-small")
+        assert graph.num_nodes() == 4000
+
+
+class TestScaleAlpha:
+    def test_keeps_absolute_budget(self):
+        scaled = scale_alpha(0.000015, YOUTUBE_PAPER_SIZE, 60_000)
+        assert scaled * 60_000 == pytest.approx(0.000015 * YOUTUBE_PAPER_SIZE, rel=1e-6)
+
+    def test_clamped_to_unit_interval(self):
+        assert scale_alpha(0.5, YAHOO_PAPER_SIZE, 10) == 1.0
+        assert scale_alpha(1e-12, 100, 1_000_000) >= 1e-6
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(WorkloadError):
+            scale_alpha(0.1, 0, 100)
+        with pytest.raises(WorkloadError):
+            scale_alpha(0.1, 100, 0)

@@ -1,0 +1,105 @@
+"""Tests for the query workload generators."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import bidirectional_reachable
+from repro.matching.strong_simulation import strong_simulation
+from repro.workloads.queries import (
+    PAPER_QUERY_SHAPES,
+    generate_pattern_workload,
+    generate_reachability_workload,
+)
+
+
+class TestPatternWorkload:
+    def test_requested_count_and_shape(self, small_social_graph):
+        workload = generate_pattern_workload(small_social_graph, shape=(4, 6), count=4, seed=1)
+        assert len(workload) == 4
+        assert workload.shape == (4, 6)
+        for query in workload:
+            assert query.pattern.num_nodes() == 4
+            assert query.shape[0] == 4
+
+    def test_queries_have_nonempty_exact_answers(self, small_social_graph):
+        workload = generate_pattern_workload(small_social_graph, shape=(4, 5), count=3, seed=2)
+        for query in workload:
+            result = strong_simulation(query.pattern, small_social_graph, query.personalized_match)
+            assert result.answer
+
+    def test_personalized_matches_exist_in_graph(self, small_social_graph):
+        workload = generate_pattern_workload(small_social_graph, shape=(5, 7), count=3, seed=3)
+        for query in workload:
+            assert query.personalized_match in small_social_graph
+
+    def test_deterministic_for_seed(self, small_social_graph):
+        first = generate_pattern_workload(small_social_graph, shape=(4, 5), count=2, seed=9)
+        second = generate_pattern_workload(small_social_graph, shape=(4, 5), count=2, seed=9)
+        assert [q.personalized_match for q in first] == [q.personalized_match for q in second]
+
+    def test_too_small_shape_rejected(self, small_social_graph):
+        with pytest.raises(WorkloadError):
+            generate_pattern_workload(small_social_graph, shape=(1, 0), count=1)
+
+    def test_impossible_workload_raises(self):
+        tiny = DiGraph.from_edges([(0, 1)], labels={0: "A", 1: "B"})
+        with pytest.raises(WorkloadError):
+            generate_pattern_workload(tiny, shape=(6, 10), count=2, seed=1)
+
+    def test_paper_shapes_constant(self):
+        assert PAPER_QUERY_SHAPES[0] == (4, 8)
+        assert PAPER_QUERY_SHAPES[-1] == (8, 16)
+        assert all(edges == 2 * nodes for nodes, edges in PAPER_QUERY_SHAPES)
+
+
+class TestReachabilityWorkload:
+    def test_count_and_truth_recorded(self, small_social_graph):
+        workload = generate_reachability_workload(small_social_graph, count=40, seed=1)
+        assert len(workload) >= 30
+        assert set(workload.truth) == set(workload.pairs)
+
+    def test_ground_truth_is_correct(self, small_social_graph):
+        workload = generate_reachability_workload(small_social_graph, count=30, seed=2)
+        for pair in workload.pairs:
+            assert workload.truth[pair] == bidirectional_reachable(small_social_graph, *pair)
+
+    def test_positive_fraction_roughly_respected(self, small_social_graph):
+        workload = generate_reachability_workload(
+            small_social_graph, count=40, positive_fraction=0.5, seed=3
+        )
+        positives = workload.positives()
+        assert 0.3 * len(workload) <= positives <= 0.7 * len(workload)
+
+    def test_all_negative_workload(self, small_social_graph):
+        workload = generate_reachability_workload(
+            small_social_graph, count=20, positive_fraction=0.0, seed=4
+        )
+        assert workload.positives() == 0
+
+    def test_all_positive_workload(self, small_social_graph):
+        workload = generate_reachability_workload(
+            small_social_graph, count=20, positive_fraction=1.0, seed=5
+        )
+        assert workload.positives() == len(workload)
+
+    def test_no_self_pairs(self, small_social_graph):
+        workload = generate_reachability_workload(small_social_graph, count=30, seed=6)
+        assert all(source != target for source, target in workload.pairs)
+
+    def test_invalid_parameters(self, small_social_graph):
+        with pytest.raises(WorkloadError):
+            generate_reachability_workload(small_social_graph, count=0)
+        with pytest.raises(WorkloadError):
+            generate_reachability_workload(small_social_graph, count=10, positive_fraction=1.5)
+
+    def test_graph_too_small_raises(self):
+        graph = DiGraph()
+        graph.add_node(1, "A")
+        with pytest.raises(WorkloadError):
+            generate_reachability_workload(graph, count=5)
+
+    def test_deterministic_for_seed(self, small_social_graph):
+        first = generate_reachability_workload(small_social_graph, count=20, seed=8)
+        second = generate_reachability_workload(small_social_graph, count=20, seed=8)
+        assert first.pairs == second.pairs
