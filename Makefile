@@ -1,0 +1,23 @@
+# Development entry points for the FanWW14 reproduction.
+#
+#   make test         - tier-1 test suite (the gate every PR must keep green)
+#   make bench-smoke  - fast end-to-end benchmark (backend comparison)
+#   make bench        - the full paper-figure benchmark suite
+#   make docs-check   - run README code blocks + lint documentation links
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench docs-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_backend_csr.py -q -p no:cacheprovider
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q -p no:cacheprovider
+
+docs-check:
+	$(PYTHON) tools/docs_check.py

@@ -1,0 +1,151 @@
+"""Benchmark: ``DiGraph`` vs ``CSRGraph`` on the BFS-heavy hot paths.
+
+Measures the speedup of the compressed-sparse-row backend — and asserts
+conservative floors on it, so the claim stays regression-tested rather than
+asserted in prose — on the two workloads the tentpole targets:
+
+* **traversal**: full undirected ``bfs_levels`` (the paper's ``N_r(v)``
+  membership), ``ancestors`` sweeps and the bidirectional reachability
+  oracle, on the Yahoo surrogate;
+* **RBReach end-to-end**: the paper's reachability experiment loop
+  (generate a verified query workload, build the hierarchical landmark
+  index, answer and score every query) on the synthetic |E| = 2|V| series
+  of Fig. 8(o)/(p).
+
+Both backends run the *same* algorithms on the *same* workload; the test
+asserts answer parity and a >= 2x wall-clock speedup for CSR.  Results are
+appended to ``benchmarks/_reports/backend_csr.txt``.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_backend_csr.py -q
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from conftest import BENCH_SEED, REPORT_DIR
+
+MIN_SPEEDUP_TRAVERSAL = 2.0
+MIN_SPEEDUP_RBREACH = 1.5  # typically >= 2x; relaxed bound absorbs CI noise
+QUERY_COUNT = 400
+
+
+def _timed(fn, rounds: int = 2):
+    """Run ``fn`` ``rounds`` times; return (last result, best wall-clock).
+
+    Taking the per-backend minimum damps scheduler noise, which matters
+    because the speedup floors below are asserted, not just reported.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _report(lines):
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
+    path = REPORT_DIR / "backend_csr.txt"
+    with path.open("a", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+
+
+@pytest.fixture(scope="module")
+def backends():
+    """The Yahoo surrogate on both backends plus a frozen synthetic graph."""
+    from repro.graph.csr import CSRGraph
+    from repro.workloads.datasets import synthetic, yahoo_like
+
+    yahoo = yahoo_like()
+    synth = synthetic(20_000)
+    return {
+        "yahoo": (yahoo, CSRGraph.from_digraph(yahoo)),
+        "synthetic": (synth, CSRGraph.from_digraph(synth)),
+    }
+
+
+def test_traversal_speedup(backends):
+    """BFS-heavy traversal primitives must be >= 2x faster on CSR."""
+    from repro.graph import traversal as tr
+
+    digraph, csr = backends["yahoo"]
+    rng = random.Random(BENCH_SEED)
+    nodes = list(digraph.nodes())
+    sources = [rng.choice(nodes) for _ in range(15)]
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(40)]
+
+    def suite(graph):
+        levels = [tr.bfs_levels(graph, source) for source in sources]
+        upstream = [tr.ancestors(graph, source) for source in sources]
+        downstream = [tr.descendants(graph, source) for source in sources]
+        components = [tr.connected_component(graph, source) for source in sources[:5]]
+        oracle = [tr.bidirectional_reachable(graph, s, t) for s, t in pairs]
+        return levels, upstream, downstream, components, oracle
+
+    # One untimed pass per backend warms imports and allocator pools so the
+    # comparison measures steady-state traversal, not first-call setup.
+    suite(digraph)
+    suite(csr)
+    baseline, time_digraph = _timed(lambda: suite(digraph))
+    candidate, time_csr = _timed(lambda: suite(csr))
+    assert baseline == candidate, "backends must agree on every traversal result"
+
+    speedup = time_digraph / time_csr
+    _report(
+        [
+            f"traversal yahoo-30k: digraph={time_digraph:.3f}s csr={time_csr:.3f}s "
+            f"speedup={speedup:.2f}x"
+        ]
+    )
+    assert speedup >= MIN_SPEEDUP_TRAVERSAL, (
+        f"CSR traversal speedup {speedup:.2f}x below the {MIN_SPEEDUP_TRAVERSAL}x target"
+    )
+
+
+def test_rbreach_end_to_end_speedup(backends):
+    """The full RBReach experiment loop must be >= 2x faster on CSR.
+
+    One loop = workload generation (with its exact BFS verification), index
+    construction, and answering/scoring every query — exactly what one data
+    point of the paper's Fig. 8(k)-(p) costs.
+    """
+    from repro.reachability.rbreach import RBReach
+    from repro.workloads.queries import generate_reachability_workload
+
+    results = {}
+    for dataset in ("synthetic", "yahoo"):
+        digraph, csr = backends[dataset]
+
+        def experiment(graph):
+            workload = generate_reachability_workload(graph, count=QUERY_COUNT, seed=BENCH_SEED)
+            matcher = RBReach.from_graph(graph, alpha=0.01)
+            answers = {pair: matcher.query(*pair).reachable for pair in workload.pairs}
+            correct = sum(1 for pair, truth in workload.truth.items() if answers[pair] == truth)
+            return correct, answers
+
+        baseline, time_digraph = _timed(lambda: experiment(digraph))
+        candidate, time_csr = _timed(lambda: experiment(csr))
+        assert baseline == candidate, "backends must return identical RBReach answers"
+
+        speedup = time_digraph / time_csr
+        results[dataset] = speedup
+        _report(
+            [
+                f"rbreach {dataset}: digraph={time_digraph:.3f}s csr={time_csr:.3f}s "
+                f"speedup={speedup:.2f}x accuracy={baseline[0]}/{QUERY_COUNT}"
+            ]
+        )
+
+    assert results["synthetic"] >= MIN_SPEEDUP_RBREACH
+    assert results["yahoo"] >= MIN_SPEEDUP_RBREACH
+    # The BFS-heavy regime of the paper (giant-SCC synthetic graphs) is where
+    # the tentpole's >= 2x claim is made; keep it measured, not asserted away.
+    assert results["synthetic"] >= 2.0, (
+        f"CSR RBReach speedup {results['synthetic']:.2f}x below the 2x target"
+    )

@@ -11,7 +11,7 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import RBReach, RBSim, example1_pattern, match_opt
+from repro import CSRGraph, RBReach, RBSim, example1_pattern, match_opt
 from repro.graph.digraph import DiGraph
 
 
@@ -65,6 +65,15 @@ def main() -> None:
     print("\nreachability queries (alpha = 0.5):")
     print(f"  Michael -> Eric : {forward.reachable} (visited {forward.visited} index items)")
     print(f"  Eric -> Michael : {backward.reachable}")
+
+    # --- backend choice: freeze the graph into CSR form -------------------- #
+    # DiGraph is the mutable build-time substrate; CSRGraph is the immutable
+    # query-serving one (numpy flat arrays, vectorised BFS).  Conversion
+    # preserves neighbour order, so answers are identical on both backends.
+    frozen = CSRGraph.from_digraph(graph)
+    csr_answer = RBSim(frozen, alpha=alpha).answer(query, personalized_match="Michael")
+    assert csr_answer.answer == answer.answer
+    print(f"\nCSR backend: {frozen!r} gives the same answer: {sorted(csr_answer.answer)}")
 
 
 if __name__ == "__main__":

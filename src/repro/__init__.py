@@ -41,7 +41,7 @@ from repro.core import (
     rbsim,
     rbsub,
 )
-from repro.graph import DiGraph
+from repro.graph import CSRGraph, DiGraph, GraphLike
 from repro.matching import match_opt, strong_simulation, subgraph_isomorphism, vf2_opt
 from repro.patterns import GraphPattern, example1_pattern, make_pattern
 from repro.reachability import (
@@ -77,7 +77,9 @@ __all__ = [
     "pattern_accuracy",
     "rbsim",
     "rbsub",
+    "CSRGraph",
     "DiGraph",
+    "GraphLike",
     "match_opt",
     "strong_simulation",
     "subgraph_isomorphism",

@@ -44,7 +44,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--output", type=Path, default=None, help="also write the report to this file")
 
-    subparsers.add_parser("datasets", help="print dataset surrogate profiles")
+    datasets_parser = subparsers.add_parser("datasets", help="print dataset surrogate profiles")
+    datasets_parser.add_argument(
+        "--backend",
+        choices=["digraph", "csr"],
+        default="digraph",
+        help="graph backend to build the surrogates on (csr = numpy compressed-sparse-row)",
+    )
     return parser
 
 
@@ -58,13 +64,14 @@ def _command_list() -> int:
     return 0
 
 
-def _command_datasets() -> int:
+def _command_datasets(backend: str = "digraph") -> int:
     for name in available_datasets():
-        graph = load_dataset(name)
+        graph = load_dataset(name, backend=backend)
         stats = summarize_for_report(graph, name)
         print(
             f"{name}: |V|={stats['nodes']} |E|={stats['edges']} |G|={stats['size']} "
-            f"labels={stats['labels']} max_degree={stats['max_degree']} avg_degree={stats['avg_degree']}"
+            f"labels={stats['labels']} max_degree={stats['max_degree']} avg_degree={stats['avg_degree']} "
+            f"backend={type(graph).__name__}"
         )
     return 0
 
@@ -91,7 +98,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _command_list()
     if args.command == "datasets":
-        return _command_datasets()
+        return _command_datasets(backend=args.backend)
     if args.command == "run":
         return _command_run(args.experiments, args.scale, args.seed, args.output)
     parser.error(f"unknown command {args.command!r}")

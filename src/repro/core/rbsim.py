@@ -1,4 +1,5 @@
-"""``RBSim`` — resource-bounded strong simulation (paper Section 4.1, Fig. 3).
+"""``RBSim`` — resource-bounded strong simulation (Fan, Wang & Wu, SIGMOD 2014,
+Section 4.1, Fig. 3).
 
 Given a simulation query ``Q``, a graph ``G``, the personalized match ``vp``
 and a resource ratio ``alpha``, ``RBSim``
@@ -20,6 +21,7 @@ from repro.core.budget import BudgetReport, ResourceBudget
 from repro.core.reduction import DynamicReducer, ReductionResult
 from repro.core.weights import SimulationGuard
 from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.protocol import GraphLike
 from repro.graph.neighborhood import NeighborhoodIndex
 from repro.matching.strong_simulation import match_in_subgraph
 from repro.patterns.pattern import GraphPattern
@@ -81,7 +83,7 @@ class RBSim:
 
     def __init__(
         self,
-        graph: DiGraph,
+        graph: GraphLike,
         alpha: float,
         config: Optional[RBSimConfig] = None,
         neighborhood_index: Optional[NeighborhoodIndex] = None,
@@ -93,7 +95,7 @@ class RBSim:
         self._max_degree_cache: Optional[int] = None
 
     @property
-    def graph(self) -> DiGraph:
+    def graph(self) -> GraphLike:
         """The data graph this matcher answers queries on."""
         return self._graph
 
@@ -180,7 +182,7 @@ class RBSim:
 
 def rbsim(
     pattern: GraphPattern,
-    graph: DiGraph,
+    graph: GraphLike,
     personalized_match: NodeId,
     alpha: float,
     config: Optional[RBSimConfig] = None,

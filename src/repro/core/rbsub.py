@@ -1,4 +1,5 @@
-"""``RBSub`` — resource-bounded subgraph (isomorphism) queries (Section 4.2).
+"""``RBSub`` — resource-bounded subgraph (isomorphism) queries (Fan, Wang & Wu,
+SIGMOD 2014, Section 4.2).
 
 ``RBSub`` revises ``RBSim`` in two places:
 
@@ -22,6 +23,7 @@ from repro.core.rbsim import PatternAnswer, RBSimConfig
 from repro.core.reduction import DynamicReducer, ReductionResult
 from repro.core.weights import IsomorphismGuard
 from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.protocol import GraphLike
 from repro.graph.neighborhood import NeighborhoodIndex
 from repro.matching.vf2 import isomorphic_answer_in_subgraph
 from repro.patterns.pattern import GraphPattern
@@ -39,7 +41,7 @@ class RBSub:
 
     def __init__(
         self,
-        graph: DiGraph,
+        graph: GraphLike,
         alpha: float,
         config: Optional[RBSubConfig] = None,
         neighborhood_index: Optional[NeighborhoodIndex] = None,
@@ -51,7 +53,7 @@ class RBSub:
         self._max_degree_cache: Optional[int] = None
 
     @property
-    def graph(self) -> DiGraph:
+    def graph(self) -> GraphLike:
         """The data graph this matcher answers queries on."""
         return self._graph
 
@@ -118,7 +120,7 @@ class RBSub:
 
 def rbsub(
     pattern: GraphPattern,
-    graph: DiGraph,
+    graph: GraphLike,
     personalized_match: NodeId,
     alpha: float,
     config: Optional[RBSubConfig] = None,

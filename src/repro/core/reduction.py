@@ -1,4 +1,5 @@
-"""Dynamic reduction: the ``Search`` / ``Pick`` procedures of Figure 3.
+"""Dynamic reduction: the ``Search`` / ``Pick`` procedures of Figure 3 of
+Fan, Wang & Wu, *"Querying Big Graphs within Bounded Resources"* (SIGMOD 2014).
 
 Given a pattern ``Q``, a graph ``G``, the personalized match ``vp`` and a
 resource budget, ``Search`` performs a controlled traversal of ``G`` starting
@@ -26,6 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.budget import BudgetReport, ResourceBudget, snapshot
 from repro.core.weights import GuardedCondition, WeightEstimator
 from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.protocol import GraphLike
 from repro.graph.neighborhood import NeighborhoodIndex
 from repro.graph.subgraph import SubgraphBuilder
 from repro.patterns.pattern import GraphPattern, QueryNodeId
@@ -54,7 +56,7 @@ class DynamicReducer:
     def __init__(
         self,
         pattern: GraphPattern,
-        graph: DiGraph,
+        graph: GraphLike,
         personalized_match: NodeId,
         guard: GuardedCondition,
         budget: ResourceBudget,

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Protocol, Set
 
-from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.digraph import NodeId
+from repro.graph.protocol import GraphLike
 from repro.graph.neighborhood import NeighborhoodIndex
 from repro.patterns.pattern import GraphPattern, QueryNodeId
 
@@ -50,7 +51,7 @@ class _BaseGuard:
     def __init__(
         self,
         pattern: GraphPattern,
-        graph: DiGraph,
+        graph: GraphLike,
         personalized_match: NodeId,
         index: NeighborhoodIndex,
     ) -> None:
@@ -189,7 +190,7 @@ class WeightEstimator:
     def __init__(
         self,
         pattern: GraphPattern,
-        graph: DiGraph,
+        graph: GraphLike,
         guard: GuardedCondition,
         max_scan: int = 64,
     ) -> None:

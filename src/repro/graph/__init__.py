@@ -19,6 +19,28 @@ from repro.graph.components import (
     strongly_connected_components,
 )
 from repro.graph.digraph import DiGraph, Edge, Label, NodeId
+from repro.graph.protocol import GraphLike
+
+try:  # The CSR backend needs numpy; the rest of the package does not.
+    from repro.graph.csr import CSRGraph
+except ImportError:  # pragma: no cover - numpy is normally available
+
+    class CSRGraph:  # type: ignore[no-redef]
+        """Placeholder that fails loudly when numpy is unavailable."""
+
+        def __init__(self, *args, **kwargs):
+            raise ImportError("the CSR graph backend requires numpy; install numpy to use CSRGraph")
+
+        def __init_subclass__(cls, **kwargs):
+            raise ImportError("the CSR graph backend requires numpy; install numpy to use CSRGraph")
+
+        @classmethod
+        def from_digraph(cls, *args, **kwargs):
+            raise ImportError("the CSR graph backend requires numpy; install numpy to use CSRGraph")
+
+        @classmethod
+        def from_edges(cls, *args, **kwargs):
+            raise ImportError("the CSR graph backend requires numpy; install numpy to use CSRGraph")
 from repro.graph.generators import (
     DEFAULT_ALPHABET,
     community_graph,
@@ -31,6 +53,7 @@ from repro.graph.generators import (
     star_graph,
 )
 from repro.graph.io import (
+    BACKENDS,
     from_json_dict,
     read_edge_list,
     read_json,
@@ -91,8 +114,11 @@ from repro.graph.traversal import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "CSRGraph",
     "DiGraph",
     "Edge",
+    "GraphLike",
     "Label",
     "NodeId",
     "SimulationCompressedGraph",

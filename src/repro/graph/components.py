@@ -18,9 +18,15 @@ from typing import Dict, List, Mapping, Set, Tuple
 
 from repro.exceptions import NodeNotFoundError
 from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.protocol import GraphLike
+
+try:  # CSRGraph needs numpy; condensation must keep working without it.
+    from repro.graph.csr import CSRGraph as _CSRGraph
+except ImportError:  # pragma: no cover - numpy is normally available
+    _CSRGraph = None
 
 
-def strongly_connected_components(graph: DiGraph) -> List[Set[NodeId]]:
+def strongly_connected_components(graph: GraphLike) -> List[Set[NodeId]]:
     """Return the strongly connected components of ``graph``.
 
     Uses an iterative Tarjan algorithm; components are returned in reverse
@@ -34,11 +40,25 @@ def strongly_connected_components(graph: DiGraph) -> List[Set[NodeId]]:
     stack: List[NodeId] = []
     components: List[Set[NodeId]] = []
 
+    if _CSRGraph is not None and isinstance(graph, _CSRGraph):
+        # CSR backend: one bulk adjacency export instead of a per-node view.
+        # The export preserves neighbour order, so the traversal (and hence
+        # the component emission order) is identical to the generic path.
+        adjacency = graph.successor_adjacency()
+
+        def successors_of(node: NodeId) -> List[NodeId]:
+            return adjacency[node]
+
+    else:
+
+        def successors_of(node: NodeId) -> List[NodeId]:
+            return list(graph.successors(node))
+
     for root in graph.nodes():
         if root in indices:
             continue
         # Each work item is (node, iterator over successors).
-        work: List[Tuple[NodeId, List[NodeId], int]] = [(root, list(graph.successors(root)), 0)]
+        work: List[Tuple[NodeId, List[NodeId], int]] = [(root, successors_of(root), 0)]
         indices[root] = lowlinks[root] = index_counter
         index_counter += 1
         stack.append(root)
@@ -55,7 +75,7 @@ def strongly_connected_components(graph: DiGraph) -> List[Set[NodeId]]:
                     stack.append(child)
                     on_stack.add(child)
                     work.append((node, children, child_pos))
-                    work.append((child, list(graph.successors(child)), 0))
+                    work.append((child, successors_of(child), 0))
                     advanced = True
                     break
                 if child in on_stack:
@@ -77,7 +97,7 @@ def strongly_connected_components(graph: DiGraph) -> List[Set[NodeId]]:
     return components
 
 
-def is_dag(graph: DiGraph) -> bool:
+def is_dag(graph: GraphLike) -> bool:
     """Whether ``graph`` contains no directed cycle (self-loops count as cycles)."""
     for source, target in graph.edges():
         if source == target:
@@ -112,7 +132,7 @@ class Condensation:
         except KeyError:
             raise NodeNotFoundError(node) from None
 
-    def compression_ratio(self, original: DiGraph) -> float:
+    def compression_ratio(self, original: GraphLike) -> float:
         """|condensation| / |G| — how much the compression shrank the graph."""
         original_size = original.size()
         if original_size == 0:
@@ -120,7 +140,7 @@ class Condensation:
         return self.dag.size() / original_size
 
 
-def condensation(graph: DiGraph) -> Condensation:
+def condensation(graph: GraphLike) -> Condensation:
     """Contract every SCC of ``graph`` to a node, preserving reachability.
 
     For any two original nodes ``u`` and ``v``, ``u`` reaches ``v`` in ``G``

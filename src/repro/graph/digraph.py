@@ -1,6 +1,7 @@
 """Directed, node-labeled graph — the data-graph substrate of the paper.
 
-The paper (Section 2) defines a data graph as ``G = (V, E, L)`` where ``V``
+The paper — Fan, Wang & Wu, *"Querying Big Graphs within Bounded Resources"*
+(SIGMOD 2014), Section 2 — defines a data graph as ``G = (V, E, L)`` where ``V``
 is a finite set of nodes, ``E`` a set of directed edges, and ``L`` a function
 assigning a label to every node.  :class:`DiGraph` implements exactly this
 model with adjacency sets for O(1) edge tests and O(deg) neighbourhood scans,

@@ -11,18 +11,46 @@ Two formats are supported:
 
 Node identifiers are written as strings; integer-looking identifiers are
 converted back to ``int`` on load so generated graphs round-trip unchanged.
+
+Every reader accepts ``backend="digraph"`` (default) or ``backend="csr"``;
+the CSR path assembles the flat arrays straight from the parsed edge stream
+(via :meth:`CSRGraph.from_edges`) without materialising an intermediate
+dict-of-sets graph, so peak memory stays one representation.  The writers
+accept either backend.
+
+Note that loading the same file on both backends produces *equivalent*
+graphs (identical nodes, edges and labels), not graphs with identical
+neighbour iteration order — node interning order differs between the two
+construction paths.  The decision-level parity guarantee of the CSR backend
+(heuristic algorithms making identical choices) is provided by
+:meth:`CSRGraph.from_digraph`, which copies the source's iteration order.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.exceptions import GraphError
 from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.protocol import GraphLike
 
 PathLike = Union[str, Path]
+
+BACKENDS = ("digraph", "csr")
+"""Names accepted by the ``backend`` parameter of the loaders."""
+
+
+def _check_backend(backend: str) -> None:
+    if backend not in BACKENDS:
+        raise GraphError(f"unknown graph backend {backend!r}; available: {', '.join(BACKENDS)}")
+
+
+def _csr_from_edges(edges, labels, default_label):
+    from repro.graph.csr import CSRGraph  # deferred: needs numpy
+
+    return CSRGraph.from_edges(edges, labels, default_label)
 
 
 def _parse_node(token: str) -> NodeId:
@@ -33,7 +61,7 @@ def _parse_node(token: str) -> NodeId:
         return token
 
 
-def write_edge_list(graph: DiGraph, path: PathLike, labels_path: Optional[PathLike] = None) -> None:
+def write_edge_list(graph: GraphLike, path: PathLike, labels_path: Optional[PathLike] = None) -> None:
     """Write ``graph`` as a tab-separated edge list plus a label file.
 
     ``labels_path`` defaults to ``<path>.labels``.
@@ -48,12 +76,32 @@ def write_edge_list(graph: DiGraph, path: PathLike, labels_path: Optional[PathLi
             handle.write(f"{node}\t{graph.label(node)}\n")
 
 
-def read_edge_list(path: PathLike, labels_path: Optional[PathLike] = None, default_label: str = "") -> DiGraph:
+def _iter_edge_lines(path: Path) -> Iterator[Tuple[NodeId, NodeId]]:
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise GraphError(f"malformed edge line: {line!r}")
+            yield _parse_node(parts[0]), _parse_node(parts[1])
+
+
+def read_edge_list(
+    path: PathLike,
+    labels_path: Optional[PathLike] = None,
+    default_label: str = "",
+    backend: str = "digraph",
+) -> GraphLike:
     """Read a graph written by :func:`write_edge_list` (or any edge-list crawl).
 
     Lines that are empty or start with ``#`` are ignored.  When no label file
-    exists every node receives ``default_label``.
+    exists every node receives ``default_label``.  With ``backend="csr"`` the
+    edge stream is loaded straight into a
+    :class:`~repro.graph.csr.CSRGraph`.
     """
+    _check_backend(backend)
     path = Path(path)
     labels_path = Path(labels_path) if labels_path is not None else path.with_suffix(path.suffix + ".labels")
     labels: Dict[NodeId, str] = {}
@@ -67,27 +115,21 @@ def read_edge_list(path: PathLike, labels_path: Optional[PathLike] = None, defau
                 if len(parts) != 2:
                     raise GraphError(f"malformed label line: {line!r}")
                 labels[_parse_node(parts[0])] = parts[1]
+    if backend == "csr":
+        return _csr_from_edges(_iter_edge_lines(path), labels, default_label)
     graph = DiGraph()
     for node, label in labels.items():
         graph.add_node(node, label)
-    with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split("\t")
-            if len(parts) != 2:
-                raise GraphError(f"malformed edge line: {line!r}")
-            source, target = _parse_node(parts[0]), _parse_node(parts[1])
-            if source not in graph:
-                graph.add_node(source, labels.get(source, default_label))
-            if target not in graph:
-                graph.add_node(target, labels.get(target, default_label))
-            graph.add_edge(source, target)
+    for source, target in _iter_edge_lines(path):
+        if source not in graph:
+            graph.add_node(source, labels.get(source, default_label))
+        if target not in graph:
+            graph.add_node(target, labels.get(target, default_label))
+        graph.add_edge(source, target)
     return graph
 
 
-def to_json_dict(graph: DiGraph) -> Dict[str, object]:
+def to_json_dict(graph: GraphLike) -> Dict[str, object]:
     """Return a JSON-serialisable dictionary representation of ``graph``."""
     return {
         "format": "repro-digraph",
@@ -100,10 +142,24 @@ def to_json_dict(graph: DiGraph) -> Dict[str, object]:
     }
 
 
-def from_json_dict(document: Dict[str, object]) -> DiGraph:
+def from_json_dict(document: Dict[str, object], backend: str = "digraph") -> GraphLike:
     """Rebuild a graph from :func:`to_json_dict` output."""
+    _check_backend(backend)
     if document.get("format") != "repro-digraph":
         raise GraphError("document is not a repro-digraph JSON payload")
+    if backend == "csr":
+        labels = {
+            _parse_node(str(entry["id"])): entry.get("label", "")
+            for entry in document.get("nodes", [])
+        }
+        edges: List[Tuple[NodeId, NodeId]] = []
+        for edge_entry in document.get("edges", []):
+            source = _parse_node(str(edge_entry["source"]))
+            target = _parse_node(str(edge_entry["target"]))
+            if source not in labels or target not in labels:
+                raise GraphError(f"edge references undeclared node: {edge_entry!r}")
+            edges.append((source, target))
+        return _csr_from_edges(edges, labels, "")
     graph = DiGraph()
     for node_entry in document.get("nodes", []):
         graph.add_node(_parse_node(str(node_entry["id"])), node_entry.get("label", ""))
@@ -116,15 +172,15 @@ def from_json_dict(document: Dict[str, object]) -> DiGraph:
     return graph
 
 
-def write_json(graph: DiGraph, path: PathLike) -> None:
+def write_json(graph: GraphLike, path: PathLike) -> None:
     """Serialise ``graph`` to a JSON file."""
     path = Path(path)
     with path.open("w", encoding="utf-8") as handle:
         json.dump(to_json_dict(graph), handle, indent=2)
 
 
-def read_json(path: PathLike) -> DiGraph:
+def read_json(path: PathLike, backend: str = "digraph") -> GraphLike:
     """Load a graph from a JSON file produced by :func:`write_json`."""
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
-        return from_json_dict(json.load(handle))
+        return from_json_dict(json.load(handle), backend=backend)

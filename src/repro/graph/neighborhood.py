@@ -1,4 +1,5 @@
-"""r-hop neighbourhoods and balls ``G_r(v)`` (paper Section 2, Table 1).
+"""r-hop neighbourhoods and balls ``G_r(v)`` (Fan, Wang & Wu, SIGMOD 2014,
+Section 2, Table 1).
 
 * ``N_r(v)`` — the set of nodes within ``r`` hops of ``v``, where "within r
   hops" means connected by a path of at most ``r`` edges *in either
@@ -18,23 +19,24 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Set
 
 from repro.graph.digraph import DiGraph, Label, NodeId
+from repro.graph.protocol import GraphLike
 from repro.graph.subgraph import induced_subgraph
 from repro.graph.traversal import bfs_levels
 
 
-def nodes_within_hops(graph: DiGraph, center: NodeId, radius: int) -> Set[NodeId]:
+def nodes_within_hops(graph: GraphLike, center: NodeId, radius: int) -> Set[NodeId]:
     """The paper's ``N_r(v)``: nodes within ``radius`` undirected hops of ``center``."""
     if radius < 0:
         raise ValueError("radius must be non-negative")
     return set(bfs_levels(graph, center, max_hops=radius, direction="both"))
 
 
-def ball(graph: DiGraph, center: NodeId, radius: int) -> DiGraph:
+def ball(graph: GraphLike, center: NodeId, radius: int) -> DiGraph:
     """The paper's ``G_r(v)``: the subgraph induced by ``N_r(v)``."""
     return induced_subgraph(graph, nodes_within_hops(graph, center, radius))
 
 
-def ball_size(graph: DiGraph, center: NodeId, radius: int) -> int:
+def ball_size(graph: GraphLike, center: NodeId, radius: int) -> int:
     """``|G_r(v)|`` (nodes + edges) without materialising the ball twice."""
     return ball(graph, center, radius).size()
 
@@ -74,7 +76,7 @@ class NeighborhoodSummary:
         return self.parent_label_counts.get(label, 0)
 
 
-def summarize_node(graph: DiGraph, node: NodeId) -> NeighborhoodSummary:
+def summarize_node(graph: GraphLike, node: NodeId) -> NeighborhoodSummary:
     """Compute the :class:`NeighborhoodSummary` of one node."""
     child_counts: Dict[Label, int] = {}
     parent_counts: Dict[Label, int] = {}
@@ -106,12 +108,12 @@ class NeighborhoodIndex:
     :meth:`precompute` to reproduce the offline pass exactly.
     """
 
-    def __init__(self, graph: DiGraph):
+    def __init__(self, graph: GraphLike):
         self._graph = graph
         self._summaries: Dict[NodeId, NeighborhoodSummary] = {}
 
     @property
-    def graph(self) -> DiGraph:
+    def graph(self) -> GraphLike:
         """The indexed graph."""
         return self._graph
 
@@ -144,7 +146,7 @@ class NeighborhoodIndex:
         return self.summary(node).parent_count(label) > 0
 
 
-def max_label_fanout(graph: DiGraph, center: NodeId, radius: int) -> int:
+def max_label_fanout(graph: GraphLike, center: NodeId, radius: int) -> int:
     """The paper's parameter ``f`` for a ball.
 
     ``f`` is the maximum number of nodes in ``G_dQ(v_p)`` that share the same
@@ -171,7 +173,7 @@ def max_label_fanout(graph: DiGraph, center: NodeId, radius: int) -> int:
 
 
 def theoretical_alpha_bound(
-    graph: DiGraph,
+    graph: GraphLike,
     center: NodeId,
     radius: int,
     num_labels: int,

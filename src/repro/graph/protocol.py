@@ -1,0 +1,125 @@
+"""``GraphLike`` — the read-only graph interface the algorithms actually use.
+
+The reproduction of Fan, Wang & Wu, *"Querying Big Graphs within Bounded
+Resources"* (SIGMOD 2014) originally hard-wired every algorithm to the
+mutable dict-of-sets :class:`~repro.graph.digraph.DiGraph`.  The hot paths —
+traversal, neighbourhood summaries, the ``Search``/``Pick`` dynamic
+reduction, ``RBSim``/``RBSub`` and the ``RBReach`` index builder — only ever
+*read* the data graph, so they are typed against this protocol instead.  Any
+object providing these operations works as a data-graph backend:
+
+* :class:`~repro.graph.digraph.DiGraph` — mutable, dict-of-sets; the right
+  choice while a graph is being built or updated;
+* :class:`~repro.graph.csr.CSRGraph` — immutable compressed-sparse-row
+  arrays; the right choice for query answering on a frozen graph.
+
+Keeping the mutable and immutable substrates behind one read interface
+mirrors the split maintained by incremental-view-maintenance systems (the
+FO+MOD-under-updates line of work): updates land on the mutable store, while
+analytics run against a compact read-optimised snapshot.
+
+The protocol is ``runtime_checkable`` so backends can be verified in tests
+with ``isinstance``; structural typing means neither backend needs to
+inherit from anything.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Protocol, Set, Tuple, runtime_checkable
+
+NodeId = Hashable
+Label = Hashable
+Edge = Tuple[NodeId, NodeId]
+
+
+@runtime_checkable
+class GraphLike(Protocol):
+    """Read-only node-labeled directed graph (the paper's ``G = (V, E, L)``).
+
+    The return types are deliberately loose: ``successors``/``predecessors``
+    must return a *sized iterable with membership testing* (``len``, ``in``,
+    iteration), not necessarily a ``set`` — :class:`CSRGraph` returns flat
+    array views.  Callers that need set algebra should wrap the result in
+    ``set(...)``.
+    """
+
+    # -- nodes ---------------------------------------------------------- #
+    def __contains__(self, node: NodeId) -> bool:
+        """Whether ``node`` is in ``V``."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of nodes ``|V|`` (use :meth:`size` for the paper's ``|G|``)."""
+        ...
+
+    def __iter__(self) -> Iterator[NodeId]:
+        """Iterate over all node identifiers."""
+        ...
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over all node identifiers."""
+        ...
+
+    def num_nodes(self) -> int:
+        """``|V|``."""
+        ...
+
+    # -- edges ---------------------------------------------------------- #
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all ``(source, target)`` pairs."""
+        ...
+
+    def num_edges(self) -> int:
+        """``|E|``."""
+        ...
+
+    def has_edge(self, source: NodeId, target: NodeId) -> bool:
+        """Whether the directed edge ``(source, target)`` exists."""
+        ...
+
+    def size(self) -> int:
+        """The paper's ``|G| = |V| + |E|``."""
+        ...
+
+    # -- labels --------------------------------------------------------- #
+    def label(self, node: NodeId) -> Label:
+        """The label ``L(node)``."""
+        ...
+
+    def distinct_labels(self) -> Set[Label]:
+        """The set of labels used by at least one node."""
+        ...
+
+    def nodes_with_label(self, label: Label) -> Set[NodeId]:
+        """All nodes carrying ``label``."""
+        ...
+
+    # -- adjacency ------------------------------------------------------ #
+    def successors(self, node: NodeId):
+        """Targets of out-edges of ``node`` (sized, iterable, supports ``in``)."""
+        ...
+
+    def predecessors(self, node: NodeId):
+        """Sources of in-edges of ``node`` (sized, iterable, supports ``in``)."""
+        ...
+
+    def neighbors(self, node: NodeId) -> Set[NodeId]:
+        """The 1-hop neighbourhood ``N(v)``: parents plus children."""
+        ...
+
+    # -- degrees -------------------------------------------------------- #
+    def out_degree(self, node: NodeId) -> int:
+        """Number of out-edges of ``node``."""
+        ...
+
+    def in_degree(self, node: NodeId) -> int:
+        """Number of in-edges of ``node``."""
+        ...
+
+    def degree(self, node: NodeId) -> int:
+        """The paper's ``d(v)``: cardinality of ``N(v)``."""
+        ...
+
+    def max_degree(self) -> int:
+        """Maximum ``d(v)`` over the whole graph (0 for empty graphs)."""
+        ...

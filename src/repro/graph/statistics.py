@@ -17,19 +17,20 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Set, Tuple
 
 from repro.graph.digraph import DiGraph, Label, NodeId
+from repro.graph.protocol import GraphLike
 
 
 class LabelIndex:
     """Inverted index from label to the set of nodes carrying it."""
 
-    def __init__(self, graph: DiGraph):
+    def __init__(self, graph: GraphLike):
         self._graph = graph
         self._by_label: Dict[Label, Set[NodeId]] = {}
         for node in graph.nodes():
             self._by_label.setdefault(graph.label(node), set()).add(node)
 
     @property
-    def graph(self) -> DiGraph:
+    def graph(self) -> GraphLike:
         """The indexed graph."""
         return self._graph
 
@@ -55,7 +56,7 @@ class LabelIndex:
         return min(labels, key=self.count)
 
 
-def degree_histogram(graph: DiGraph) -> Dict[int, int]:
+def degree_histogram(graph: GraphLike) -> Dict[int, int]:
     """Map degree value → number of nodes with that degree."""
     histogram: Counter = Counter()
     for node in graph.nodes():
@@ -63,7 +64,7 @@ def degree_histogram(graph: DiGraph) -> Dict[int, int]:
     return dict(histogram)
 
 
-def label_histogram(graph: DiGraph) -> Dict[Label, int]:
+def label_histogram(graph: GraphLike) -> Dict[Label, int]:
     """Map label → number of nodes carrying it."""
     histogram: Counter = Counter()
     for node in graph.nodes():
@@ -71,14 +72,14 @@ def label_histogram(graph: DiGraph) -> Dict[Label, int]:
     return dict(histogram)
 
 
-def average_degree(graph: DiGraph) -> float:
+def average_degree(graph: GraphLike) -> float:
     """Average out-degree, i.e. |E| / |V| (0.0 for empty graphs)."""
     if graph.num_nodes() == 0:
         return 0.0
     return graph.num_edges() / graph.num_nodes()
 
 
-def density(graph: DiGraph) -> float:
+def density(graph: GraphLike) -> float:
     """|E| / (|V| * (|V| - 1)) — fraction of possible directed edges present."""
     nodes = graph.num_nodes()
     if nodes < 2:
@@ -111,7 +112,7 @@ class GraphProfile:
         )
 
 
-def profile(graph: DiGraph) -> GraphProfile:
+def profile(graph: GraphLike) -> GraphProfile:
     """Compute a :class:`GraphProfile` for ``graph``."""
     return GraphProfile(
         num_nodes=graph.num_nodes(),
@@ -124,12 +125,12 @@ def profile(graph: DiGraph) -> GraphProfile:
     )
 
 
-def top_degree_nodes(graph: DiGraph, count: int) -> List[NodeId]:
+def top_degree_nodes(graph: GraphLike, count: int) -> List[NodeId]:
     """The ``count`` highest-degree nodes, ties broken by node id repr."""
     return sorted(graph.nodes(), key=lambda node: (-graph.degree(node), repr(node)))[:count]
 
 
-def label_cooccurrence(graph: DiGraph) -> Dict[Tuple[Label, Label], int]:
+def label_cooccurrence(graph: GraphLike) -> Dict[Tuple[Label, Label], int]:
     """Count directed label pairs over edges: (L(u), L(v)) for each edge (u, v).
 
     Used by the pattern generator to produce patterns whose label structure
@@ -142,7 +143,7 @@ def label_cooccurrence(graph: DiGraph) -> Dict[Tuple[Label, Label], int]:
     return dict(counts)
 
 
-def maximum_label_fanout(graph: DiGraph) -> int:
+def maximum_label_fanout(graph: GraphLike) -> int:
     """Graph-wide version of the paper's ``f`` parameter.
 
     The maximum, over all nodes ``v`` and labels ``l``, of the number of
@@ -159,7 +160,7 @@ def maximum_label_fanout(graph: DiGraph) -> int:
     return best
 
 
-def summarize_for_report(graph: DiGraph, name: str) -> Mapping[str, object]:
+def summarize_for_report(graph: GraphLike, name: str) -> Mapping[str, object]:
     """Dictionary form of a dataset profile used by the experiment reports."""
     stats = profile(graph)
     return {

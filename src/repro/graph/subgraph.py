@@ -18,9 +18,10 @@ from typing import Iterable, Set, Tuple
 
 from repro.exceptions import NodeNotFoundError
 from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.protocol import GraphLike
 
 
-def induced_subgraph(graph: DiGraph, nodes: Iterable[NodeId]) -> DiGraph:
+def induced_subgraph(graph: GraphLike, nodes: Iterable[NodeId]) -> DiGraph:
     """Return the subgraph of ``graph`` induced by ``nodes``.
 
     Every edge of ``graph`` whose endpoints are both in ``nodes`` is kept.
@@ -39,7 +40,7 @@ def induced_subgraph(graph: DiGraph, nodes: Iterable[NodeId]) -> DiGraph:
     return result
 
 
-def edge_subgraph(graph: DiGraph, edges: Iterable[Tuple[NodeId, NodeId]]) -> DiGraph:
+def edge_subgraph(graph: GraphLike, edges: Iterable[Tuple[NodeId, NodeId]]) -> DiGraph:
     """Return the subgraph containing exactly ``edges`` and their endpoints."""
     result = DiGraph()
     for source, target in edges:
@@ -55,7 +56,7 @@ def edge_subgraph(graph: DiGraph, edges: Iterable[Tuple[NodeId, NodeId]]) -> DiG
     return result
 
 
-def is_subgraph(candidate: DiGraph, graph: DiGraph) -> bool:
+def is_subgraph(candidate: GraphLike, graph: GraphLike) -> bool:
     """Whether ``candidate`` is a subgraph of ``graph`` (paper Section 2).
 
     Checks node containment, label agreement and edge containment.
@@ -76,12 +77,12 @@ class SubgraphBuilder:
     subgraph in the paper's sense.
     """
 
-    def __init__(self, host: DiGraph):
+    def __init__(self, host: GraphLike):
         self._host = host
         self._graph = DiGraph()
 
     @property
-    def host(self) -> DiGraph:
+    def host(self) -> GraphLike:
         """The graph this builder extracts from."""
         return self._host
 

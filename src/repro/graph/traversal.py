@@ -1,9 +1,17 @@
 """Graph traversal primitives: BFS, DFS, shortest hop distances, reachability.
 
-These are the building blocks both for the paper's baselines (plain ``BFS``
-reachability, the ``MatchOpt`` ball extraction) and for the preprocessing
-steps of the resource-bounded algorithms.  All traversals are iterative so
-they work on graphs far deeper than Python's recursion limit.
+These are the building blocks both for the baselines of Fan, Wang & Wu
+(SIGMOD 2014) — plain ``BFS`` reachability, the ``MatchOpt`` ball extraction
+— and for the preprocessing steps of the resource-bounded algorithms.  All
+traversals are iterative so they work on graphs far deeper than Python's
+recursion limit.
+
+Every function accepts any :class:`~repro.graph.protocol.GraphLike` backend.
+Functions whose results are order-insensitive (distance maps, reachability
+booleans, node sets) dispatch to the vectorised kernels of
+:class:`~repro.graph.csr.CSRGraph` when given one; generators whose yield
+*order* is part of the contract (:func:`bfs_order`, :func:`dfs_order`,
+:func:`shortest_path`) always run the generic implementation.
 """
 
 from __future__ import annotations
@@ -12,7 +20,17 @@ from collections import deque
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import NodeNotFoundError
-from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.protocol import GraphLike, NodeId
+
+try:  # CSRGraph needs numpy; traversal must keep working without it.
+    from repro.graph.csr import CSRGraph as _CSRGraph
+except ImportError:  # pragma: no cover - numpy is normally available
+    _CSRGraph = None
+
+
+def _is_csr(graph: GraphLike) -> bool:
+    return _CSRGraph is not None and isinstance(graph, _CSRGraph)
+
 
 Direction = str
 
@@ -22,7 +40,7 @@ _BOTH = "both"
 _DIRECTIONS = (_FORWARD, _BACKWARD, _BOTH)
 
 
-def _neighbors_fn(graph: DiGraph, direction: Direction) -> Callable[[NodeId], Iterable[NodeId]]:
+def _neighbors_fn(graph: GraphLike, direction: Direction) -> Callable[[NodeId], Iterable[NodeId]]:
     if direction == _FORWARD:
         return graph.successors
     if direction == _BACKWARD:
@@ -32,7 +50,7 @@ def _neighbors_fn(graph: DiGraph, direction: Direction) -> Callable[[NodeId], It
     raise ValueError(f"direction must be one of {_DIRECTIONS}, got {direction!r}")
 
 
-def bfs_order(graph: DiGraph, source: NodeId, direction: Direction = _FORWARD) -> Iterator[NodeId]:
+def bfs_order(graph: GraphLike, source: NodeId, direction: Direction = _FORWARD) -> Iterator[NodeId]:
     """Yield nodes in breadth-first order from ``source``.
 
     ``direction`` selects which edges to follow: ``"forward"`` (out-edges),
@@ -53,7 +71,7 @@ def bfs_order(graph: DiGraph, source: NodeId, direction: Direction = _FORWARD) -
 
 
 def bfs_levels(
-    graph: DiGraph,
+    graph: GraphLike,
     source: NodeId,
     max_hops: Optional[int] = None,
     direction: Direction = _BOTH,
@@ -67,6 +85,8 @@ def bfs_levels(
     """
     if source not in graph:
         raise NodeNotFoundError(source)
+    if _is_csr(graph) and direction in _DIRECTIONS:
+        return graph.bfs_distances(source, max_hops=max_hops, direction=direction)
     neighbors = _neighbors_fn(graph, direction)
     distances: Dict[NodeId, int] = {source: 0}
     queue: deque = deque([source])
@@ -82,7 +102,7 @@ def bfs_levels(
     return distances
 
 
-def dfs_order(graph: DiGraph, source: NodeId, direction: Direction = _FORWARD) -> Iterator[NodeId]:
+def dfs_order(graph: GraphLike, source: NodeId, direction: Direction = _FORWARD) -> Iterator[NodeId]:
     """Yield nodes in (pre-order) depth-first order from ``source``."""
     if source not in graph:
         raise NodeNotFoundError(source)
@@ -105,7 +125,7 @@ def dfs_order(graph: DiGraph, source: NodeId, direction: Direction = _FORWARD) -
 
 
 def is_reachable(
-    graph: DiGraph,
+    graph: GraphLike,
     source: NodeId,
     target: NodeId,
     visit_counter: Optional[List[int]] = None,
@@ -122,6 +142,10 @@ def is_reachable(
         raise NodeNotFoundError(target)
     if source == target:
         return True
+    if visit_counter is None and _is_csr(graph):
+        # The vectorised kernel gives the same Boolean; the generic loop is
+        # kept when the caller wants the paper's data-items-visited count.
+        return graph.fast_is_reachable(source, target)
     seen: Set[NodeId] = {source}
     queue: deque = deque([source])
     visited = 1
@@ -141,7 +165,7 @@ def is_reachable(
     return False
 
 
-def bidirectional_reachable(graph: DiGraph, source: NodeId, target: NodeId) -> bool:
+def bidirectional_reachable(graph: GraphLike, source: NodeId, target: NodeId) -> bool:
     """Bidirectional BFS reachability (used as an exact oracle in tests).
 
     Alternates expanding the smaller of the two frontiers, which is much
@@ -153,6 +177,8 @@ def bidirectional_reachable(graph: DiGraph, source: NodeId, target: NodeId) -> b
         raise NodeNotFoundError(target)
     if source == target:
         return True
+    if _is_csr(graph):
+        return graph.fast_bidirectional_reachable(source, target)
     forward_seen: Set[NodeId] = {source}
     backward_seen: Set[NodeId] = {target}
     forward_frontier: Set[NodeId] = {source}
@@ -181,22 +207,26 @@ def bidirectional_reachable(graph: DiGraph, source: NodeId, target: NodeId) -> b
     return False
 
 
-def descendants(graph: DiGraph, source: NodeId) -> Set[NodeId]:
+def descendants(graph: GraphLike, source: NodeId) -> Set[NodeId]:
     """All nodes reachable from ``source`` (excluding ``source`` itself)."""
+    if _is_csr(graph):
+        return graph.fast_reachable_set(source, forward=True)
     reached = set(bfs_order(graph, source, direction=_FORWARD))
     reached.discard(source)
     return reached
 
 
-def ancestors(graph: DiGraph, source: NodeId) -> Set[NodeId]:
+def ancestors(graph: GraphLike, source: NodeId) -> Set[NodeId]:
     """All nodes that can reach ``source`` (excluding ``source`` itself)."""
+    if _is_csr(graph):
+        return graph.fast_reachable_set(source, forward=False)
     reached = set(bfs_order(graph, source, direction=_BACKWARD))
     reached.discard(source)
     return reached
 
 
 def shortest_path(
-    graph: DiGraph, source: NodeId, target: NodeId, direction: Direction = _FORWARD
+    graph: GraphLike, source: NodeId, target: NodeId, direction: Direction = _FORWARD
 ) -> Optional[List[NodeId]]:
     """Return one shortest (fewest-hops) path from ``source`` to ``target``.
 
@@ -227,13 +257,13 @@ def shortest_path(
     return None
 
 
-def eccentricity(graph: DiGraph, source: NodeId, direction: Direction = _BOTH) -> int:
+def eccentricity(graph: GraphLike, source: NodeId, direction: Direction = _BOTH) -> int:
     """Longest shortest-path distance from ``source`` to any reachable node."""
     levels = bfs_levels(graph, source, direction=direction)
     return max(levels.values()) if levels else 0
 
 
-def diameter(graph: DiGraph, directed: bool = False, sample: Optional[int] = None) -> int:
+def diameter(graph: GraphLike, directed: bool = False, sample: Optional[int] = None) -> int:
     """Diameter of ``graph``: the longest shortest path between any two nodes.
 
     With ``directed=False`` edges are treated as undirected, matching the
@@ -252,13 +282,17 @@ def diameter(graph: DiGraph, directed: bool = False, sample: Optional[int] = Non
     return best
 
 
-def connected_component(graph: DiGraph, source: NodeId) -> Set[NodeId]:
+def connected_component(graph: GraphLike, source: NodeId) -> Set[NodeId]:
     """Weakly connected component containing ``source``."""
+    if _is_csr(graph):
+        return graph.fast_connected_component(source)
     return set(bfs_order(graph, source, direction=_BOTH))
 
 
-def weakly_connected_components(graph: DiGraph) -> List[Set[NodeId]]:
+def weakly_connected_components(graph: GraphLike) -> List[Set[NodeId]]:
     """All weakly connected components of the graph."""
+    if _is_csr(graph):
+        return graph.fast_weak_components()
     remaining: Set[NodeId] = set(graph.nodes())
     components: List[Set[NodeId]] = []
     while remaining:

@@ -16,17 +16,27 @@ from typing import Dict, Optional
 
 from repro.graph.components import Condensation, condensation
 from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.protocol import GraphLike
 from repro.graph.topology import TopologicalRankIndex
 from repro.graph.traversal import bidirectional_reachable
 
 
 @dataclass
 class CompressedGraph:
-    """A data graph together with its reachability-preserving DAG view."""
+    """A data graph together with its reachability-preserving DAG view.
 
-    original: DiGraph
+    ``dag_csr`` is an optional compressed-sparse-row mirror of the condensed
+    DAG, populated when the original graph is itself a
+    :class:`~repro.graph.csr.CSRGraph`.  The index builder and the exact
+    oracle route their BFS sweeps through it; the mutable ``dag`` remains the
+    canonical structure (and the one all order-sensitive heuristics read), so
+    answers are identical with and without the mirror.
+    """
+
+    original: GraphLike
     condensation: Condensation
     ranks: TopologicalRankIndex
+    dag_csr: Optional[GraphLike] = None
 
     @property
     def dag(self) -> DiGraph:
@@ -55,14 +65,31 @@ class CompressedGraph:
         target_component = self.component_of(target)
         if source_component == target_component:
             return True
-        return bidirectional_reachable(self.dag, source_component, target_component)
+        dag = self.dag_csr if self.dag_csr is not None else self.dag
+        return bidirectional_reachable(dag, source_component, target_component)
 
 
-def compress(graph: DiGraph) -> CompressedGraph:
-    """Condense ``graph`` and precompute topological ranks on the DAG."""
+def compress(graph: GraphLike) -> CompressedGraph:
+    """Condense ``graph`` and precompute topological ranks on the DAG.
+
+    When ``graph`` is a :class:`~repro.graph.csr.CSRGraph` the condensed DAG
+    is additionally frozen into CSR form so the downstream index build can
+    use vectorised BFS.
+    """
     condensed = condensation(graph)
     ranks = TopologicalRankIndex(condensed.dag)
-    return CompressedGraph(original=graph, condensation=condensed, ranks=ranks)
+    dag_csr = None
+    try:
+        from repro.graph.csr import CSRGraph
+
+        if isinstance(graph, CSRGraph):
+            # The mirror only feeds order-insensitive kernels (reachability
+            # masks, cover statistics, label sweeps), so skip the
+            # order-preserving predecessor pass.
+            dag_csr = CSRGraph.from_digraph(condensed.dag, preserve_order=False)
+    except ImportError:  # pragma: no cover - numpy is normally available
+        pass
+    return CompressedGraph(original=graph, condensation=condensed, ranks=ranks, dag_csr=dag_csr)
 
 
 def verify_reachability_preserved(

@@ -1,4 +1,5 @@
-"""The hierarchical landmark index ``I`` (paper Section 5.1, procedure RBIndex).
+"""The hierarchical landmark index ``I`` (Fan, Wang & Wu, *"Querying Big Graphs
+within Bounded Resources"*, SIGMOD 2014, Section 5.1, procedure RBIndex).
 
 The index is a small, size-bounded structure over a reachability-preserving
 DAG.  It consists of:
@@ -30,8 +31,9 @@ from collections import deque
 
 from repro.exceptions import IndexBuildError
 from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.protocol import GraphLike
 from repro.reachability.compression import CompressedGraph, compress
-from repro.reachability.landmarks import first_landmarks_hit, greedy_landmarks
+from repro.reachability.landmarks import greedy_landmarks, out_of_index_labels
 
 
 @dataclass
@@ -98,12 +100,21 @@ class HierarchicalLandmarkIndex:
         return self.landmarks[landmark]
 
 
-def _cover_statistics(dag: DiGraph, landmarks: List[NodeId]) -> Tuple[Dict[NodeId, int], Dict[NodeId, Set[NodeId]], Dict[NodeId, Set[NodeId]]]:
+def _cover_statistics(
+    dag: GraphLike,
+    landmarks: List[NodeId],
+    csr_dag: Optional[GraphLike] = None,
+) -> Tuple[Dict[NodeId, int], Dict[NodeId, Set[NodeId]], Dict[NodeId, Set[NodeId]]]:
     """Descendant/ancestor counts and landmark-to-landmark reachability.
 
     One forward and one backward BFS per landmark over the DAG.  Returns
     (cover sizes, forward landmark reach sets, backward landmark reach sets).
+    With a CSR mirror of the DAG the per-landmark sweeps run on the
+    vectorised reachability kernel; the resulting sets are exact, so the
+    outcome is identical to the generic traversal.
     """
+    if csr_dag is not None and csr_dag.num_nodes() == dag.num_nodes():
+        return _cover_statistics_csr(csr_dag, landmarks)
     landmark_set = set(landmarks)
     cover: Dict[NodeId, int] = {}
     forward_reach: Dict[NodeId, Set[NodeId]] = {}
@@ -140,6 +151,27 @@ def _cover_statistics(dag: DiGraph, landmarks: List[NodeId]) -> Tuple[Dict[NodeI
         cover[landmark] = (descendants + 1) * (ancestors + 1)
         forward_reach[landmark] = reached_landmarks
         backward_reach[landmark] = reaching_landmarks
+    return cover, forward_reach, backward_reach
+
+
+def _cover_statistics_csr(
+    csr_dag: GraphLike, landmarks: List[NodeId]
+) -> Tuple[Dict[NodeId, int], Dict[NodeId, Set[NodeId]], Dict[NodeId, Set[NodeId]]]:
+    """Vectorised cover statistics over a CSR mirror of the DAG."""
+    import numpy as np
+
+    landmark_indices = [csr_dag.index_of(landmark) for landmark in landmarks]
+    probe_mask = np.zeros(csr_dag.num_nodes(), dtype=bool)
+    probe_mask[landmark_indices] = True
+    cover: Dict[NodeId, int] = {}
+    forward_reach: Dict[NodeId, Set[NodeId]] = {}
+    backward_reach: Dict[NodeId, Set[NodeId]] = {}
+    for landmark, landmark_index in zip(landmarks, landmark_indices):
+        descendants, hits = csr_dag.reach_stats(landmark_index, forward=True, probe_mask=probe_mask)
+        forward_reach[landmark] = {csr_dag.node_at(i) for i in hits}
+        ancestors, hits = csr_dag.reach_stats(landmark_index, forward=False, probe_mask=probe_mask)
+        backward_reach[landmark] = {csr_dag.node_at(i) for i in hits}
+        cover[landmark] = (descendants + 1) * (ancestors + 1)
     return cover, forward_reach, backward_reach
 
 
@@ -201,7 +233,9 @@ def build_index(
     if not leaves:
         return index
 
-    cover, forward_reach, backward_reach = _cover_statistics(dag, leaves)
+    cover, forward_reach, backward_reach = _cover_statistics(
+        dag, leaves, csr_dag=compressed.dag_csr
+    )
 
     # --- arrange landmarks into levels (subsets moved up) ---------------- #
     shrink = max(2, exclusion_radius)
@@ -309,13 +343,7 @@ def build_index(
     # --- out-of-index labels v.E ------------------------------------------ #
     landmark_set = set(leaves)
     label_cap = max(1, size_budget // 2)
-    for node in dag.nodes():
-        if node in landmark_set:
-            continue
-        forward = first_landmarks_hit(dag, node, landmark_set, forward=True, max_labels=label_cap)
-        backward = first_landmarks_hit(dag, node, landmark_set, forward=False, max_labels=label_cap)
-        if forward:
-            index.forward_labels[node] = forward
-        if backward:
-            index.backward_labels[node] = backward
+    index.forward_labels, index.backward_labels = out_of_index_labels(
+        dag, landmark_set, max_labels=label_cap, csr_dag=compressed.dag_csr
+    )
     return index

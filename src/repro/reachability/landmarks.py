@@ -1,4 +1,5 @@
-"""Greedy landmark selection (paper Section 5.1, "Landmark selection").
+"""Greedy landmark selection (Fan, Wang & Wu, SIGMOD 2014, Section 5.1,
+"Landmark selection").
 
 A *landmark* for a pair ``(v1, v2)`` is a node on a path from ``v1`` to
 ``v2``.  Finding a minimum landmark set covering all connected pairs is
@@ -15,19 +16,20 @@ NP-hard, so the paper selects landmarks greedily:
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.protocol import GraphLike
 from repro.graph.topology import TopologicalRankIndex
 
 
-def selection_scores(dag: DiGraph, ranks: TopologicalRankIndex) -> Dict[NodeId, float]:
+def selection_scores(dag: GraphLike, ranks: TopologicalRankIndex) -> Dict[NodeId, float]:
     """The greedy score of every node: ``(degree * rank) / (L * D)``."""
     return {node: ranks.selection_score(node) for node in dag.nodes()}
 
 
 def greedy_landmarks(
-    dag: DiGraph,
+    dag: GraphLike,
     ranks: TopologicalRankIndex,
     count: int,
     exclusion_radius: int,
@@ -79,7 +81,7 @@ def greedy_landmarks(
 
 
 def first_landmarks_hit(
-    graph: DiGraph,
+    graph: GraphLike,
     start: NodeId,
     landmarks: Set[NodeId],
     forward: bool,
@@ -117,8 +119,89 @@ def first_landmarks_hit(
     return found
 
 
+def out_of_index_labels(
+    dag: GraphLike,
+    landmarks: Set[NodeId],
+    max_labels: Optional[int] = None,
+    csr_dag: Optional[GraphLike] = None,
+) -> Tuple[Dict[NodeId, Set[NodeId]], Dict[NodeId, Set[NodeId]]]:
+    """The out-of-index labels ``v.E`` of every non-landmark node.
+
+    Returns ``(forward, backward)`` dictionaries mapping each node with a
+    non-empty label set to its labels: ``forward[v]`` holds the landmarks
+    reachable from ``v`` by a landmark-free path, ``backward[v]`` the
+    landmarks that reach ``v`` by one.
+
+    When ``csr_dag`` (a CSR mirror of ``dag``) is given, the computation is
+    inverted: instead of one BFS per *node*, one absorbing BFS per *landmark*
+    sweeps the region the landmark is the first hit for — ``O(k · region)``
+    work instead of ``O(n · region)``, and each sweep is vectorised.  The
+    sweep computes the exact full label sets; nodes whose set exceeds
+    ``max_labels`` fall back to the per-node traversal so the truncated
+    result is identical to the generic path.
+    """
+    if csr_dag is not None and csr_dag.num_nodes() == dag.num_nodes():
+        return _out_of_index_labels_by_sweep(dag, csr_dag, landmarks, max_labels)
+    forward: Dict[NodeId, Set[NodeId]] = {}
+    backward: Dict[NodeId, Set[NodeId]] = {}
+    for node in dag.nodes():
+        if node in landmarks:
+            continue
+        found = first_landmarks_hit(dag, node, landmarks, forward=True, max_labels=max_labels)
+        if found:
+            forward[node] = found
+        found = first_landmarks_hit(dag, node, landmarks, forward=False, max_labels=max_labels)
+        if found:
+            backward[node] = found
+    return forward, backward
+
+
+def _out_of_index_labels_by_sweep(
+    dag: GraphLike,
+    csr_dag: GraphLike,
+    landmarks: Set[NodeId],
+    max_labels: Optional[int],
+) -> Tuple[Dict[NodeId, Set[NodeId]], Dict[NodeId, Set[NodeId]]]:
+    """Landmark-major computation of ``v.E`` over a CSR DAG (see above)."""
+    import numpy as np
+
+    n = csr_dag.num_nodes()
+    stop_mask = np.zeros(n, dtype=bool)
+    landmark_indices = [csr_dag.index_of(landmark) for landmark in landmarks]
+    stop_mask[landmark_indices] = True
+
+    full_forward: Dict[int, Set[NodeId]] = {}
+    full_backward: Dict[int, Set[NodeId]] = {}
+    for landmark, landmark_index in zip(landmarks, landmark_indices):
+        # v has `landmark` as a forward label iff v reaches it landmark-free:
+        # sweep the *predecessor* side, absorbing at other landmarks (and
+        # symmetrically the successor side for backward labels).
+        for follow_forward, table in ((False, full_forward), (True, full_backward)):
+            mask = csr_dag.reach_mask(landmark_index, forward=follow_forward, stop_mask=stop_mask)
+            mask[landmark_index] = False
+            mask &= ~stop_mask  # landmarks themselves carry no labels
+            for index in np.nonzero(mask)[0].tolist():
+                table.setdefault(index, set()).add(landmark)
+
+    forward: Dict[NodeId, Set[NodeId]] = {}
+    backward: Dict[NodeId, Set[NodeId]] = {}
+    for table, result, is_forward in (
+        (full_forward, forward, True),
+        (full_backward, backward, False),
+    ):
+        for index, found in table.items():
+            node = csr_dag.node_at(index)
+            if max_labels is not None and len(found) > max_labels:
+                found = first_landmarks_hit(
+                    dag, node, landmarks, forward=is_forward, max_labels=max_labels
+                )
+            if found:
+                result[node] = found
+    return forward, backward
+
+
 def landmark_reachability(
-    dag: DiGraph,
+    dag: GraphLike,
     landmarks: Sequence[NodeId],
 ) -> Dict[NodeId, Set[NodeId]]:
     """For each landmark, the set of *other* landmarks it can reach in ``dag``.
@@ -149,7 +232,7 @@ def landmark_reachability(
     return reaches
 
 
-def build_landmark_graph(dag: DiGraph, landmarks: Sequence[NodeId]) -> DiGraph:
+def build_landmark_graph(dag: GraphLike, landmarks: Sequence[NodeId]) -> DiGraph:
     """The landmark graph ``G_l``: landmarks as nodes, edges for reachability."""
     reaches = landmark_reachability(dag, landmarks)
     graph = DiGraph()

@@ -1,4 +1,4 @@
-"""``RBReach`` — resource-bounded reachability (paper Section 5.2, Fig. 7).
+"""``RBReach`` — resource-bounded reachability (Fan, Wang & Wu, SIGMOD 2014, Section 5.2, Fig. 7).
 
 Given a reachability query ``(vp, vo)`` and the hierarchical landmark index
 ``I``, ``RBReach`` performs a bidirectional search *on the index* (never on
@@ -27,7 +27,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.digraph import NodeId
+from repro.graph.protocol import GraphLike
 from repro.reachability.hierarchy import HierarchicalLandmarkIndex, build_index
 
 
@@ -49,7 +50,7 @@ class RBReach:
         self._compressed = index.compressed
 
     @classmethod
-    def from_graph(cls, graph: DiGraph, alpha: float, **index_kwargs) -> "RBReach":
+    def from_graph(cls, graph: GraphLike, alpha: float, **index_kwargs) -> "RBReach":
         """Convenience constructor: compress, build the index, wrap it."""
         return cls(build_index(graph, alpha, **index_kwargs))
 
@@ -206,6 +207,6 @@ class RBReach:
         return results
 
 
-def rbreach(graph: DiGraph, alpha: float, source: NodeId, target: NodeId) -> bool:
+def rbreach(graph: GraphLike, alpha: float, source: NodeId, target: NodeId) -> bool:
     """One-shot convenience wrapper (builds an index per call; prefer :class:`RBReach`)."""
     return RBReach.from_graph(graph, alpha).query(source, target).reachable

@@ -22,6 +22,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.exceptions import WorkloadError
 from repro.graph.digraph import DiGraph
+from repro.graph.io import BACKENDS
+from repro.graph.protocol import GraphLike
 from repro.graph.generators import (
     DEFAULT_ALPHABET,
     preferential_attachment_graph,
@@ -44,9 +46,23 @@ class DatasetSpec:
     paper_size: Optional[int]
     builder: Callable[[int], DiGraph]
 
-    def build(self, seed: int = 7) -> DiGraph:
-        """Materialise the dataset graph."""
-        return self.builder(seed)
+    def build(self, seed: int = 7, backend: str = "digraph") -> GraphLike:
+        """Materialise the dataset graph on the requested backend.
+
+        ``backend="csr"`` freezes the generated graph into a
+        :class:`~repro.graph.csr.CSRGraph` (order-preserving, so query
+        answers match the mutable backend exactly).
+        """
+        if backend not in BACKENDS:
+            raise WorkloadError(
+                f"unknown graph backend {backend!r}; available: {', '.join(BACKENDS)}"
+            )
+        graph = self.builder(seed)
+        if backend == "csr":
+            from repro.graph.csr import CSRGraph  # deferred: needs numpy
+
+            return CSRGraph.from_digraph(graph)
+        return graph
 
 
 def youtube_like(seed: int = 7, num_nodes: int = 20_000) -> DiGraph:
@@ -136,9 +152,13 @@ def dataset_spec(name: str) -> DatasetSpec:
         ) from None
 
 
-def load_dataset(name: str, seed: int = 7) -> DiGraph:
-    """Build a registered dataset graph."""
-    return dataset_spec(name).build(seed=seed)
+def load_dataset(name: str, seed: int = 7, backend: str = "digraph") -> GraphLike:
+    """Build a registered dataset graph on the chosen backend.
+
+    ``backend`` is ``"digraph"`` (mutable dict-of-sets, the default) or
+    ``"csr"`` (immutable compressed-sparse-row; fastest for query answering).
+    """
+    return dataset_spec(name).build(seed=seed, backend=backend)
 
 
 def scale_alpha(paper_alpha: float, paper_size: int, surrogate_size: int, minimum: float = 1e-6) -> float:

@@ -17,8 +17,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import WorkloadError
-from repro.graph.digraph import DiGraph, NodeId
-from repro.graph.traversal import bfs_order
+from repro.graph.digraph import NodeId
+from repro.graph.protocol import GraphLike
+from repro.graph.traversal import is_reachable
 from repro.patterns.generator import embedded_pattern
 from repro.patterns.pattern import GraphPattern
 
@@ -43,7 +44,7 @@ class PatternQueryInstance:
 class PatternWorkload:
     """A suite of pattern queries of a fixed shape over one graph."""
 
-    graph: DiGraph
+    graph: GraphLike
     shape: Tuple[int, int]
     queries: List[PatternQueryInstance] = field(default_factory=list)
 
@@ -55,7 +56,7 @@ class PatternWorkload:
 
 
 def generate_pattern_workload(
-    graph: DiGraph,
+    graph: GraphLike,
     shape: Tuple[int, int],
     count: int = 5,
     seed: int = 0,
@@ -96,7 +97,7 @@ def generate_pattern_workload(
 class ReachabilityWorkload:
     """A batch of reachability queries with their ground-truth answers."""
 
-    graph: DiGraph
+    graph: GraphLike
     pairs: List[Tuple[NodeId, NodeId]] = field(default_factory=list)
     truth: Dict[Tuple[NodeId, NodeId], bool] = field(default_factory=dict)
 
@@ -109,7 +110,7 @@ class ReachabilityWorkload:
 
 
 def generate_reachability_workload(
-    graph: DiGraph,
+    graph: GraphLike,
     count: int = 100,
     positive_fraction: float = 0.5,
     seed: int = 0,
@@ -177,11 +178,10 @@ def generate_reachability_workload(
     return workload
 
 
-def _oracle_reachable(graph: DiGraph, source: NodeId, target: NodeId) -> bool:
-    """Small exact oracle used while sampling (forward BFS with early exit)."""
-    if source == target:
-        return True
-    for node in bfs_order(graph, source, direction="forward"):
-        if node == target:
-            return True
-    return False
+def _oracle_reachable(graph: GraphLike, source: NodeId, target: NodeId) -> bool:
+    """Small exact oracle used while sampling (forward BFS with early exit).
+
+    Delegates to :func:`repro.graph.traversal.is_reachable` so the CSR
+    backend's vectorised kernel is used when available.
+    """
+    return is_reachable(graph, source, target)

@@ -1,0 +1,266 @@
+"""Backend parity: ``CSRGraph`` must be indistinguishable from ``DiGraph``.
+
+Property-style tests over a spread of generated graphs assert that the CSR
+backend agrees with the dict-of-sets backend on
+
+* every structural observation of the :class:`GraphLike` protocol (labels,
+  degrees, successor/predecessor sets *and iteration order*, membership);
+* every order-insensitive traversal result (distance maps, reachability,
+  components); and
+* the *answers* of the resource-bounded algorithms — RBSim, RBSub and
+  RBReach return bit-identical results on both backends, which is the
+  guarantee that makes the CSR backend a drop-in substitution.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.rbsim import RBSim
+from repro.core.rbsub import RBSub
+from repro.exceptions import GraphError, NodeNotFoundError, WorkloadError
+from repro.graph import traversal as tr
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    community_graph,
+    layered_dag,
+    preferential_attachment_graph,
+    random_graph,
+    star_graph,
+)
+from repro.graph.io import read_edge_list, read_json, write_edge_list, write_json
+from repro.graph.protocol import GraphLike
+from repro.reachability.rbreach import RBReach
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import (
+    generate_pattern_workload,
+    generate_reachability_workload,
+)
+
+
+def _sample_graphs():
+    yield "random", random_graph(num_nodes=400, num_edges=900, seed=3)
+    yield "scale-free", preferential_attachment_graph(
+        num_nodes=400, edges_per_node=2, seed=5, back_edge_probability=0.1
+    )
+    yield "dag", layered_dag(layers=6, width=30, seed=2)
+    yield "community", community_graph(communities=[40, 40, 40, 40], seed=1)
+    yield "star", star_graph(leaves=25)
+
+
+def _string_id_graph() -> DiGraph:
+    graph = DiGraph()
+    names = [f"node-{i}" for i in range(40)]
+    rng = random.Random(11)
+    for name in names:
+        graph.add_node(name, rng.choice("abc"))
+    for _ in range(90):
+        graph.add_edge(rng.choice(names), rng.choice(names))
+    return graph
+
+
+class TestStructuralParity:
+    @pytest.mark.parametrize("name,graph", list(_sample_graphs()))
+    def test_structure_matches(self, name, graph):
+        csr = CSRGraph.from_digraph(graph)
+        csr.validate()
+        assert isinstance(csr, GraphLike)
+        assert isinstance(graph, GraphLike)
+        assert csr.num_nodes() == graph.num_nodes()
+        assert csr.num_edges() == graph.num_edges()
+        assert csr.size() == graph.size()
+        assert csr.max_degree() == graph.max_degree()
+        assert list(csr.nodes()) == list(graph.nodes())
+        assert sorted(csr.edges()) == sorted(graph.edges())
+        assert csr.distinct_labels() == graph.distinct_labels()
+        for node in graph.nodes():
+            assert node in csr
+            assert csr.label(node) == graph.label(node)
+            assert set(csr.successors(node)) == graph.successors(node)
+            assert set(csr.predecessors(node)) == graph.predecessors(node)
+            # Iteration order is preserved, which is what makes the heuristic
+            # algorithms take identical decisions on both backends.
+            assert list(csr.successors(node)) == list(graph.successors(node))
+            assert list(csr.predecessors(node)) == list(graph.predecessors(node))
+            assert csr.neighbors(node) == graph.neighbors(node)
+            assert csr.degree(node) == graph.degree(node)
+            assert csr.out_degree(node) == graph.out_degree(node)
+            assert csr.in_degree(node) == graph.in_degree(node)
+        for label in graph.distinct_labels():
+            assert csr.nodes_with_label(label) == graph.nodes_with_label(label)
+
+    @pytest.mark.parametrize("name,graph", list(_sample_graphs()))
+    def test_edge_membership(self, name, graph):
+        csr = CSRGraph.from_digraph(graph)
+        rng = random.Random(0)
+        nodes = list(graph.nodes())
+        for _ in range(200):
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            assert csr.has_edge(source, target) == graph.has_edge(source, target)
+        assert not csr.has_edge("missing", nodes[0])
+
+    def test_round_trip(self):
+        for _, graph in _sample_graphs():
+            assert CSRGraph.from_digraph(graph).to_digraph() == graph
+
+    def test_string_identifiers(self):
+        graph = _string_id_graph()
+        csr = CSRGraph.from_digraph(graph)
+        assert csr.to_digraph() == graph
+        for node in graph.nodes():
+            assert set(csr.successors(node)) == graph.successors(node)
+            assert csr.label(node) == graph.label(node)
+
+    def test_from_edges_matches_digraph_semantics(self):
+        graph = random_graph(num_nodes=120, num_edges=300, seed=9)
+        labels = dict(graph.labels())
+        labels["isolated"] = "z"
+        edges = list(graph.edges()) + list(graph.edges())[:10]  # parallel edges collapse
+        built = CSRGraph.from_edges(edges, labels)
+        reference = DiGraph.from_edges(edges, labels)
+        assert built.num_nodes() == reference.num_nodes()
+        assert built.num_edges() == reference.num_edges()
+        assert "isolated" in built and built.label("isolated") == "z"
+        for node in reference.nodes():
+            assert set(built.successors(node)) == reference.successors(node)
+            assert built.label(node) == reference.label(node)
+
+    def test_empty_and_missing_nodes(self):
+        empty = CSRGraph.from_digraph(DiGraph())
+        assert empty.num_nodes() == 0 and empty.num_edges() == 0
+        assert empty.max_degree() == 0
+        assert list(empty.nodes()) == []
+        with pytest.raises(NodeNotFoundError):
+            empty.successors("ghost")
+        with pytest.raises(NodeNotFoundError):
+            empty.label("ghost")
+
+
+class TestTraversalParity:
+    @pytest.mark.parametrize("name,graph", list(_sample_graphs()))
+    def test_traversal_results_match(self, name, graph):
+        csr = CSRGraph.from_digraph(graph)
+        rng = random.Random(4)
+        nodes = list(graph.nodes())
+        for _ in range(12):
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            for direction in ("forward", "backward", "both"):
+                assert tr.bfs_levels(graph, source, direction=direction) == tr.bfs_levels(
+                    csr, source, direction=direction
+                )
+            assert tr.bfs_levels(graph, source, max_hops=2) == tr.bfs_levels(
+                csr, source, max_hops=2
+            )
+            assert tr.is_reachable(graph, source, target) == tr.is_reachable(csr, source, target)
+            assert tr.bidirectional_reachable(graph, source, target) == tr.bidirectional_reachable(
+                csr, source, target
+            )
+            assert tr.descendants(graph, source) == tr.descendants(csr, source)
+            assert tr.ancestors(graph, source) == tr.ancestors(csr, source)
+            assert tr.connected_component(graph, source) == tr.connected_component(csr, source)
+        assert sorted(map(sorted, tr.weakly_connected_components(graph))) == sorted(
+            map(sorted, tr.weakly_connected_components(csr))
+        )
+
+    def test_generic_traversals_accept_csr(self):
+        graph = layered_dag(layers=5, width=10, seed=8)
+        csr = CSRGraph.from_digraph(graph)
+        source = next(iter(graph.nodes()))
+        assert set(tr.bfs_order(csr, source)) == set(tr.bfs_order(graph, source))
+        assert set(tr.dfs_order(csr, source)) == set(tr.dfs_order(graph, source))
+        counter_digraph, counter_csr = [0], [0]
+        nodes = list(graph.nodes())
+        answer_digraph = tr.is_reachable(graph, nodes[0], nodes[-1], counter_digraph)
+        answer_csr = tr.is_reachable(csr, nodes[0], nodes[-1], counter_csr)
+        assert answer_digraph == answer_csr
+        assert counter_digraph == counter_csr  # visit accounting uses the generic path
+
+
+class TestAlgorithmParity:
+    def test_rbsim_and_rbsub_identical_answers(self):
+        graph = load_dataset("youtube-small", seed=7)
+        csr = CSRGraph.from_digraph(graph)
+        workload = generate_pattern_workload(graph, shape=(4, 8), count=3, seed=2)
+        for alpha in (0.02, 0.08):
+            for query in workload:
+                sim_digraph = RBSim(graph, alpha).answer(query.pattern, query.personalized_match)
+                sim_csr = RBSim(csr, alpha).answer(query.pattern, query.personalized_match)
+                assert sim_digraph.answer == sim_csr.answer
+                assert sim_digraph.subgraph == sim_csr.subgraph
+                sub_digraph = RBSub(graph, alpha).answer(query.pattern, query.personalized_match)
+                sub_csr = RBSub(csr, alpha).answer(query.pattern, query.personalized_match)
+                assert sub_digraph.answer == sub_csr.answer
+
+    def test_rbreach_identical_index_and_answers(self):
+        graph = load_dataset("youtube-small", seed=7)
+        csr = CSRGraph.from_digraph(graph)
+        workload = generate_reachability_workload(graph, count=80, seed=5)
+        for alpha in (0.02, 0.05):
+            matcher_digraph = RBReach.from_graph(graph, alpha)
+            matcher_csr = RBReach.from_graph(csr, alpha)
+            index_digraph, index_csr = matcher_digraph.index, matcher_csr.index
+            assert index_digraph.num_landmarks() == index_csr.num_landmarks()
+            assert set(index_digraph.landmarks) == set(index_csr.landmarks)
+            assert index_digraph.forward_labels == index_csr.forward_labels
+            assert index_digraph.backward_labels == index_csr.backward_labels
+            assert {k: v.cover_size for k, v in index_digraph.landmarks.items()} == {
+                k: v.cover_size for k, v in index_csr.landmarks.items()
+            }
+            for pair in workload.pairs:
+                assert (
+                    matcher_digraph.query(*pair).reachable
+                    == matcher_csr.query(*pair).reachable
+                )
+
+    def test_rbreach_answers_on_cyclic_graph(self):
+        graph = random_graph(num_nodes=600, num_edges=1400, seed=13)
+        csr = CSRGraph.from_digraph(graph)
+        workload = generate_reachability_workload(graph, count=60, seed=3)
+        matcher_digraph = RBReach.from_graph(graph, 0.05)
+        matcher_csr = RBReach.from_graph(csr, 0.05)
+        for pair in workload.pairs:
+            assert matcher_digraph.query(*pair).reachable == matcher_csr.query(*pair).reachable
+
+
+class TestLoading:
+    def test_edge_list_round_trip_into_csr(self, tmp_path):
+        graph = random_graph(num_nodes=60, num_edges=150, seed=21)
+        path = tmp_path / "graph.tsv"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path, backend="csr")
+        assert isinstance(loaded, CSRGraph)
+        assert loaded.to_digraph() == graph
+
+    def test_json_round_trip_into_csr(self, tmp_path):
+        graph = random_graph(num_nodes=50, num_edges=120, seed=22)
+        path = tmp_path / "graph.json"
+        write_json(graph, path)
+        loaded = read_json(path, backend="csr")
+        assert isinstance(loaded, CSRGraph)
+        assert loaded.to_digraph() == graph
+
+    def test_csr_graph_can_be_written(self, tmp_path):
+        graph = random_graph(num_nodes=40, num_edges=90, seed=23)
+        csr = CSRGraph.from_digraph(graph)
+        path = tmp_path / "csr.tsv"
+        write_edge_list(csr, path)
+        assert read_edge_list(path) == graph
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_edge_list(random_graph(num_nodes=10, num_edges=15, seed=1), path)
+        with pytest.raises(GraphError):
+            read_edge_list(path, backend="adjacency-matrix")
+        with pytest.raises(WorkloadError):
+            load_dataset("youtube-small", backend="adjacency-matrix")
+
+    def test_load_dataset_backend(self):
+        digraph = load_dataset("youtube-small", seed=7)
+        csr = load_dataset("youtube-small", seed=7, backend="csr")
+        assert isinstance(csr, CSRGraph)
+        assert csr.to_digraph() == digraph

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Documentation checks: execute README code blocks and lint doc links.
+
+Two rules keep the docs from rotting:
+
+1. every fenced ``python`` code block in the checked Markdown files must
+   execute without raising (blocks are run independently, with ``src/`` on
+   the path) — so the README's examples break CI instead of readers;
+2. every relative Markdown link ``[text](target)`` must point at a file or
+   directory that exists in the repository.
+
+Usage:  python tools/docs_check.py  (or ``make docs-check``)
+Exit code 0 on success, 1 with a report on failure.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+CHECKED_FILES = ["README.md", "PAPER.md", "docs/ARCHITECTURE.md"]
+
+_CODE_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+# [text](target) — excluding images and in-page anchors; stop at the first
+# closing parenthesis, which is fine for the plain relative paths we use.
+_LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)#\s]+)[^)]*\)")
+
+
+def run_code_blocks(path: Path) -> list:
+    """Execute each ``python`` fence of ``path``; return failure messages."""
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    for number, match in enumerate(_CODE_BLOCK.finditer(text), start=1):
+        code = match.group(1)
+        namespace = {"__name__": f"{path.stem}_block_{number}"}
+        try:
+            exec(compile(code, f"{path.name}[python block {number}]", "exec"), namespace)
+        except Exception:
+            failures.append(
+                f"{path.name}: python block {number} failed:\n"
+                + "".join(traceback.format_exc(limit=3))
+            )
+    return failures
+
+
+def lint_links(path: Path) -> list:
+    """Check that every relative link in ``path`` resolves to a real path."""
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            failures.append(f"{path.name}: broken link -> {target}")
+    return failures
+
+
+def main() -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    failures = []
+    for name in CHECKED_FILES:
+        path = ROOT / name
+        if not path.exists():
+            failures.append(f"missing documentation file: {name}")
+            continue
+        failures.extend(run_code_blocks(path))
+        failures.extend(lint_links(path))
+    if failures:
+        print(f"docs-check: {len(failures)} problem(s)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"docs-check: OK ({len(CHECKED_FILES)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
