@@ -1,23 +1,38 @@
 # Development entry points for the FanWW14 reproduction.
 #
 #   make test         - tier-1 test suite (the gate every PR must keep green)
-#   make bench-smoke  - fast end-to-end benchmark (backend comparison)
+#   make lint         - ruff + mypy when installed, compileall always
+#   make bench-smoke  - fast end-to-end benchmarks (CSR backend + engine)
 #   make bench        - the full paper-figure benchmark suite
+#   make bench-report - write machine-readable BENCH_*.json reports
+#   make bench-check  - bench-report + fail on >30% gated-metric regression
 #   make docs-check   - run README code blocks + lint documentation links
+#   make ci           - the exact sequence .github/workflows/ci.yml runs
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench docs-check
+.PHONY: test lint bench-smoke bench bench-report bench-check docs-check ci
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+lint:
+	$(PYTHON) tools/lint.py
+
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_backend_csr.py -q -p no:cacheprovider
+	$(PYTHON) -m pytest benchmarks/bench_backend_csr.py benchmarks/bench_engine_parallel.py -q -p no:cacheprovider
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q -p no:cacheprovider
 
+bench-report:
+	$(PYTHON) tools/bench_report.py
+
+bench-check:
+	$(PYTHON) tools/bench_report.py --check
+
 docs-check:
 	$(PYTHON) tools/docs_check.py
+
+ci: lint test docs-check bench-smoke bench-check

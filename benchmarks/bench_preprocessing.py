@@ -9,7 +9,6 @@ the three preprocessing components on the small surrogates:
 * the hierarchical landmark index construction (RBIndex).
 """
 
-from conftest import BENCH_SEED
 
 from repro.graph.neighborhood import NeighborhoodIndex
 from repro.reachability.compression import compress

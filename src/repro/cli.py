@@ -7,20 +7,30 @@ Subcommands
 ``run EXPERIMENT [...]``
     Run one or more experiments (``all`` for every one) and print their
     tables; ``--scale full`` uses the larger surrogates, ``--output`` writes
-    the report to a file as well.
+    the report to a file as well; ``--executor``/``--workers`` route the
+    resource-bounded batches through the parallel engine.
 ``datasets``
     Print the profile of each registered dataset surrogate.
+``batch``
+    Answer a batch of queries through the :class:`~repro.engine.QueryEngine`
+    — sample a workload (or read reachability pairs from a file), answer it
+    with the chosen executor and worker count, and report throughput and
+    cache behaviour, plus accuracy against the exact oracle for sampled
+    *reachability* workloads (pattern workloads skip the exact matchers —
+    running them would dwarf the batch being measured).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments.harness import available_experiments, run_all, run_experiment
-from repro.experiments.reporting import format_many, format_result, summary_claims
+from repro.experiments.reporting import format_many, summary_claims
 from repro.graph.statistics import summarize_for_report
 from repro.workloads.datasets import available_datasets, load_dataset
 
@@ -43,6 +53,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--scale", choices=["quick", "full"], default="quick")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--output", type=Path, default=None, help="also write the report to this file")
+    run_parser.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="engine executor for the RBSim/RBSub/RBReach batches (answers are identical)",
+    )
+    run_parser.add_argument("--workers", type=int, default=None, help="worker count for parallel executors")
 
     datasets_parser = subparsers.add_parser("datasets", help="print dataset surrogate profiles")
     datasets_parser.add_argument(
@@ -51,6 +68,45 @@ def _build_parser() -> argparse.ArgumentParser:
         default="digraph",
         help="graph backend to build the surrogates on (csr = numpy compressed-sparse-row)",
     )
+
+    batch_parser = subparsers.add_parser(
+        "batch",
+        help="answer a batch of queries through the engine and report throughput",
+    )
+    batch_parser.add_argument("--dataset", default="youtube-small", help="dataset the engine serves")
+    batch_parser.add_argument(
+        "--kind",
+        choices=["reach", "sim", "sub"],
+        default="reach",
+        help="query class: RBReach reachability, RBSim simulation or RBSub subgraph patterns",
+    )
+    batch_parser.add_argument("--alpha", type=float, default=0.02, help="resource ratio α")
+    batch_parser.add_argument("--count", type=int, default=200, help="sampled workload size")
+    batch_parser.add_argument(
+        "--queries",
+        type=Path,
+        default=None,
+        help="reach only: file of 'source target' lines to answer instead of sampling",
+    )
+    batch_parser.add_argument(
+        "--shape",
+        default="4,8",
+        help="pattern shape '|Vp|,|Ep|' for sampled pattern workloads (default 4,8)",
+    )
+    batch_parser.add_argument(
+        "--executor", choices=["serial", "thread", "process"], default="serial"
+    )
+    batch_parser.add_argument("--workers", type=int, default=None, help="worker count (default: all cores)")
+    batch_parser.add_argument("--seed", type=int, default=0)
+    batch_parser.add_argument(
+        "--repeat", type=int, default=1, help="answer the same batch N times (shows the LRU cache)"
+    )
+    batch_parser.add_argument(
+        "--compare-serial",
+        action="store_true",
+        help="also run the serial path and report parity plus speedup",
+    )
+    batch_parser.add_argument("--output", type=Path, default=None, help="write a JSON report here")
     return parser
 
 
@@ -76,11 +132,196 @@ def _command_datasets(backend: str = "digraph") -> int:
     return 0
 
 
-def _command_run(experiments: List[str], scale: str, seed: int, output: Optional[Path]) -> int:
-    if len(experiments) == 1 and experiments[0] == "all":
-        results = run_all(scale=scale, seed=seed)
+def _parse_node(token: str):
+    """Node ids in the bundled datasets are ints; keep other tokens as strings."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _load_reach_queries(path: Path) -> List[tuple]:
+    """Parse a queries file: one ``source target`` pair per line, ``#`` comments."""
+    pairs = []
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        tokens = stripped.split()
+        if len(tokens) != 2:
+            raise SystemExit(f"{path}:{line_number}: expected 'source target', got {line!r}")
+        pairs.append((_parse_node(tokens[0]), _parse_node(tokens[1])))
+    if not pairs:
+        raise SystemExit(f"{path}: no queries found")
+    return pairs
+
+
+def _command_batch(args) -> int:
+    from repro.core.accuracy import boolean_accuracy
+    from repro.engine import PatternQuery, QueryEngine, ReachQuery
+    from repro.workloads.queries import (
+        generate_pattern_workload,
+        generate_reachability_workload,
+    )
+
+    # The seed selects the surrogate graph too, mirroring the `run` command,
+    # so batch numbers are comparable with experiment runs at the same seed.
+    graph = load_dataset(args.dataset, seed=args.seed)
+    truth = None
+    if args.kind == "reach":
+        if args.queries is not None:
+            pairs = _load_reach_queries(args.queries)
+            # RBReach answers False for nodes outside the graph, which would
+            # read as a healthy all-unreachable report — flag it instead.
+            unknown = sorted(
+                {repr(node) for pair in pairs for node in pair if node not in graph}
+            )
+            if unknown:
+                shown = ", ".join(unknown[:5]) + (", ..." if len(unknown) > 5 else "")
+                print(
+                    f"warning: {len(unknown)} queried node id(s) not in dataset "
+                    f"{args.dataset!r} ({shown}); those queries answer unreachable",
+                    file=sys.stderr,
+                )
+        else:
+            workload = generate_reachability_workload(graph, count=args.count, seed=args.seed)
+            pairs = workload.pairs
+            truth = workload.truth
+        queries = [ReachQuery(source, target) for source, target in pairs]
     else:
-        results = [run_experiment(experiment_id, scale=scale, seed=seed) for experiment_id in experiments]
+        try:
+            shape = tuple(int(part) for part in args.shape.split(","))
+            if len(shape) != 2:
+                raise ValueError
+        except ValueError:
+            raise SystemExit(f"--shape must be '|Vp|,|Ep|', got {args.shape!r}") from None
+        if args.queries is not None:
+            raise SystemExit("--queries files are only supported for --kind reach")
+        workload = generate_pattern_workload(graph, shape=shape, count=args.count, seed=args.seed)
+        semantics = "simulation" if args.kind == "sim" else "subgraph"
+        queries = [
+            PatternQuery(query.pattern, query.personalized_match, semantics=semantics)
+            for query in workload
+        ]
+
+    engine = QueryEngine(graph)
+    started = time.perf_counter()
+    if args.kind == "reach":
+        engine.prepare(reach_alphas=[args.alpha])
+    elif args.kind == "sim":
+        engine.prepare(pattern_alphas=[args.alpha])
+    else:
+        engine.prepare(subgraph_alphas=[args.alpha])
+    prepare_seconds = time.perf_counter() - started
+
+    print(
+        f"batch: kind={args.kind} dataset={args.dataset} n={len(queries)} alpha={args.alpha} "
+        f"executor={args.executor} workers={args.workers or 'auto'}"
+    )
+    print(f"engine: backend={engine.backend} prepare={prepare_seconds:.3f}s (once per graph)")
+
+    runs = []
+    answers = None
+    for run_number in range(1, max(1, args.repeat) + 1):
+        report = engine.run_batch(
+            queries, args.alpha, executor=args.executor, workers=args.workers
+        )
+        answers = report.answers
+        runs.append(report)
+        print(
+            f"run {run_number}: wall={report.wall_seconds:.3f}s "
+            f"throughput={report.throughput:.1f} q/s "
+            f"cache hits={report.cache_hits} misses={report.cache_misses} "
+            f"chunks={report.chunks}"
+        )
+
+    payload = {
+        "dataset": args.dataset,
+        "kind": args.kind,
+        "alpha": args.alpha,
+        "executor": args.executor,
+        "workers": args.workers,
+        "backend": engine.backend,
+        "num_queries": len(queries),
+        "prepare_seconds": prepare_seconds,
+        "runs": [
+            {
+                "wall_seconds": report.wall_seconds,
+                "throughput_qps": report.throughput,
+                "cache_hits": report.cache_hits,
+                "cache_misses": report.cache_misses,
+            }
+            for report in runs
+        ],
+    }
+
+    if truth is not None:
+        mapping = {pair: answer.reachable for pair, answer in zip(pairs, answers)}
+        accuracy = boolean_accuracy(truth, mapping)
+        payload["accuracy_f_measure"] = accuracy.f_measure
+        print(f"accuracy vs exact oracle: f-measure={accuracy.f_measure:.3f}")
+
+    exit_code = 0
+    if args.compare_serial:
+        if args.executor == "serial":
+            print(
+                "note: --compare-serial skipped — the selected executor already "
+                "is the serial reference path",
+                file=sys.stderr,
+            )
+        else:
+            engine.clear_cache()
+            serial_report = engine.run_batch(queries, args.alpha, executor="serial")
+            identical = _answers_identical(args.kind, answers, serial_report.answers)
+            speedup = (
+                serial_report.wall_seconds / runs[0].wall_seconds
+                if runs[0].wall_seconds > 0
+                else 0.0
+            )
+            payload["serial_wall_seconds"] = serial_report.wall_seconds
+            payload["parallel_speedup"] = speedup
+            payload["parity"] = identical
+            print(
+                f"parity vs serial: {'identical answers' if identical else 'MISMATCH'}; "
+                f"speedup {speedup:.2f}x"
+            )
+            if not identical:
+                exit_code = 1  # still write the report: it documents the mismatch
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"(report written to {args.output})")
+    return exit_code
+
+
+def _answers_identical(kind: str, left, right) -> bool:
+    """Compare two answer lists field-by-field (the parity contract)."""
+    if kind == "reach":
+        return [
+            (answer.reachable, answer.visited, answer.met_at, answer.exhausted) for answer in left
+        ] == [
+            (answer.reachable, answer.visited, answer.met_at, answer.exhausted) for answer in right
+        ]
+    return [(answer.answer, answer.subgraph_size) for answer in left] == [
+        (answer.answer, answer.subgraph_size) for answer in right
+    ]
+
+
+def _command_run(
+    experiments: List[str],
+    scale: str,
+    seed: int,
+    output: Optional[Path],
+    executor: str = "serial",
+    workers: Optional[int] = None,
+) -> int:
+    if len(experiments) == 1 and experiments[0] == "all":
+        results = run_all(scale=scale, seed=seed, executor=executor, workers=workers)
+    else:
+        results = [
+            run_experiment(experiment_id, scale=scale, seed=seed, executor=executor, workers=workers)
+            for experiment_id in experiments
+        ]
     report = format_many(results)
     claims = summary_claims(results)
     text = report + "\n\nSummary:\n" + "\n".join(f"  {claim}" for claim in claims) + "\n"
@@ -100,7 +341,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "datasets":
         return _command_datasets(backend=args.backend)
     if args.command == "run":
-        return _command_run(args.experiments, args.scale, args.seed, args.output)
+        return _command_run(
+            args.experiments, args.scale, args.seed, args.output, args.executor, args.workers
+        )
+    if args.command == "batch":
+        return _command_batch(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -22,7 +22,7 @@ with sufficient degree for every query neighbour.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Protocol, Set
+from typing import Dict, List, Protocol, Set
 
 from repro.graph.digraph import NodeId
 from repro.graph.protocol import GraphLike

@@ -1,0 +1,49 @@
+"""Batched query engine: prepare once, answer query streams cheaply.
+
+This package is the serving layer of the reproduction — the paper's
+"queries arrive by the thousands" story (Fan, Wang & Wu, SIGMOD 2014,
+Section 1).  It separates the two phases the paper keeps distinct:
+
+* **prepare** (:mod:`repro.engine.prepared`) — CSR mirror, SCC
+  condensation, hierarchical landmark index per α, neighbourhood summaries
+  and label/degree statistics, all built once per graph;
+* **answer** (:mod:`repro.engine.engine`) — batches of
+  :class:`~repro.engine.queries.ReachQuery` /
+  :class:`~repro.engine.queries.PatternQuery` objects flow through a
+  pluggable executor (:mod:`repro.engine.executors`: serial, thread pool,
+  process pool) behind an LRU answer cache
+  (:mod:`repro.engine.cache`) keyed on ``(query fingerprint, α)``.
+
+The parity contract — identical answers for every executor and worker
+count — is property-tested in ``tests/test_engine.py`` and the ≥2×
+batch-throughput claim is asserted by
+``benchmarks/bench_engine_parallel.py``.
+"""
+
+from repro.engine.cache import AnswerCache, CacheStats
+from repro.engine.engine import BatchReport, QueryEngine, default_workers
+from repro.engine.executors import (
+    EXECUTORS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.engine.prepared import PreparedGraph
+from repro.engine.queries import PatternQuery, ReachQuery
+
+__all__ = [
+    "AnswerCache",
+    "BatchReport",
+    "CacheStats",
+    "EXECUTORS",
+    "PatternQuery",
+    "PreparedGraph",
+    "ProcessExecutor",
+    "QueryEngine",
+    "ReachQuery",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "default_workers",
+    "make_executor",
+]

@@ -1,0 +1,178 @@
+"""Pluggable batch executors: serial, thread pool, process pool.
+
+All three run the *same* pure chunk function (:func:`answer_chunk`) over
+order-preserving chunks of the batch.  The parity contract rests on that
+purity: every query is answered independently by a deterministic matcher
+against shared read-only prepared state, so neither the executor nor the
+chunk boundaries (which *do* vary with the worker count) can influence an
+answer.  Keep chunk handling stateless — any per-chunk state (memos,
+budgets) would silently break the bit-identical guarantee the engine
+promises and tests.  The executors only choose where chunks run:
+
+* :class:`SerialExecutor` — in the calling thread (the reference path);
+* :class:`ThreadExecutor` — a ``ThreadPoolExecutor``; useful when the work
+  releases the GIL (numpy kernels) or is I/O-bound, and as a cheap parity
+  witness;
+* :class:`ProcessExecutor` — a ``ProcessPoolExecutor`` whose workers receive
+  the prepared engine state **once via the pool initializer**, then stream
+  lightweight ``(kind, alpha, queries)`` chunks.  Under the default ``fork``
+  start method on Linux the state is inherited copy-on-write and never
+  pickled at all; under ``spawn`` it is pickled once per worker, never per
+  query.
+
+Cross-process determinism note: ``fork`` children inherit the parent's hash
+seed, so any iteration order the algorithms derive from Python hashing is
+identical in the workers.  The process executor therefore prefers ``fork``
+and only falls back to the platform default elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.exceptions import EngineError
+from repro.engine.prepared import PreparedGraph
+from repro.engine.queries import REACH, SIMULATION, SUBGRAPH
+
+Task = Tuple[str, float, Sequence[Any]]
+"""One unit of work: ``(kind, alpha, queries)``."""
+
+
+def default_workers() -> int:
+    """Worker count used when the caller does not pick one.
+
+    Prefers the *schedulable* core count (cgroup/affinity aware) over the
+    raw ``os.cpu_count()`` so containers get a sensible default.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
+
+
+def answer_chunk(prepared: PreparedGraph, task: Task) -> List[Any]:
+    """Answer one chunk of same-kind queries against the prepared state.
+
+    This is the single function every executor runs; it is deliberately free
+    of executor-specific state so that the serial path *is* the parallel
+    path run inline.
+    """
+    kind, alpha, queries = task
+    if kind == REACH:
+        matcher = prepared.rbreach(alpha)
+        return [matcher.query(query.source, query.target) for query in queries]
+    if kind == SIMULATION:
+        matcher = prepared.rbsim(alpha)
+        return [matcher.answer(query.pattern, query.personalized_match) for query in queries]
+    if kind == SUBGRAPH:
+        matcher = prepared.rbsub(alpha)
+        return [matcher.answer(query.pattern, query.personalized_match) for query in queries]
+    raise EngineError(f"unknown query kind {kind!r}")
+
+
+# ----------------------------------------------------------------------- #
+# Worker-process plumbing
+# ----------------------------------------------------------------------- #
+_WORKER_PREPARED: Optional[PreparedGraph] = None
+
+
+def _initialize_worker(prepared: PreparedGraph) -> None:
+    """Pool initializer: receive the prepared state once per worker."""
+    global _WORKER_PREPARED
+    _WORKER_PREPARED = prepared
+
+
+def _run_task_in_worker(task: Task) -> List[Any]:
+    """Entry point executed inside a worker process."""
+    if _WORKER_PREPARED is None:  # pragma: no cover - initializer always ran
+        raise EngineError("worker process was not initialized with prepared state")
+    return answer_chunk(_WORKER_PREPARED, task)
+
+
+def _process_context():
+    """Prefer ``fork`` (cheap state shipping, inherited hash seed)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+# ----------------------------------------------------------------------- #
+# Executors
+# ----------------------------------------------------------------------- #
+class SerialExecutor:
+    """Reference executor: every chunk runs inline, in order."""
+
+    name = "serial"
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = 1
+
+    def run(self, prepared: PreparedGraph, tasks: Sequence[Task]) -> List[List[Any]]:
+        """Chunk results, in task order."""
+        return [answer_chunk(prepared, task) for task in tasks]
+
+
+class ThreadExecutor:
+    """Thread-pool executor sharing the prepared state in-process."""
+
+    name = "thread"
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = max(1, workers or default_workers())
+
+    def run(self, prepared: PreparedGraph, tasks: Sequence[Task]) -> List[List[Any]]:
+        """Chunk results, in task order."""
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(lambda task: answer_chunk(prepared, task), tasks))
+
+
+class ProcessExecutor:
+    """Process-pool executor; prepared state ships once per worker.
+
+    The pool lives for one :meth:`run` call (one batch): a fresh pool per
+    batch keeps correctness trivial — workers can never hold stale prepared
+    state after the engine lazily builds an index for a new α.  Under
+    ``fork`` the startup cost is milliseconds and fully-cached batches skip
+    pool creation entirely (no tasks, no pool); revisit with a long-lived,
+    version-stamped pool only if profiles show pool startup dominating.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = max(1, workers or default_workers())
+
+    def run(self, prepared: PreparedGraph, tasks: Sequence[Task]) -> List[List[Any]]:
+        """Chunk results, in task order."""
+        if not tasks:
+            return []
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=_process_context(),
+            initializer=_initialize_worker,
+            initargs=(prepared,),
+        ) as pool:
+            return list(pool.map(_run_task_in_worker, tasks))
+
+
+EXECUTORS = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+"""Executor registry keyed by CLI/engine name."""
+
+
+def make_executor(name: str, workers: Optional[int] = None):
+    """Build an executor by name (``serial``, ``thread`` or ``process``)."""
+    try:
+        factory = EXECUTORS[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown executor {name!r}; available: {', '.join(sorted(EXECUTORS))}"
+        ) from None
+    return factory(workers)

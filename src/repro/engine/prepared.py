@@ -1,0 +1,197 @@
+"""Once-per-graph prepared state shared by every query in a batch.
+
+The paper's premise is that queries "arrive by the thousands" while the
+expensive work — freezing the graph into CSR, condensing SCCs, building the
+hierarchical landmark index, summarising labels and degrees — happens *once*.
+:class:`PreparedGraph` is that one-time product: an immutable-after-prepare
+bundle the engine consults per query and ships to worker processes once per
+worker (via the pool initializer), never per query.
+
+Everything stored here is plain data (dicts, dataclasses, numpy arrays), so
+the whole bundle pickles; under the ``fork`` start method it is inherited
+copy-on-write and never serialised at all.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Mapping, Optional
+
+from repro.core.rbsim import RBSim, RBSimConfig
+from repro.core.rbsub import RBSub, RBSubConfig
+from repro.exceptions import EngineError
+from repro.graph.digraph import DiGraph
+from repro.graph.neighborhood import NeighborhoodIndex
+from repro.graph.protocol import GraphLike
+from repro.graph.statistics import summarize_for_report
+from repro.reachability.compression import CompressedGraph, compress
+from repro.reachability.hierarchy import HierarchicalLandmarkIndex, build_index
+from repro.reachability.rbreach import RBReach
+
+
+def _freeze(graph: GraphLike, mirror: str) -> GraphLike:
+    """Resolve the serving substrate according to the ``mirror`` policy."""
+    if mirror not in ("auto", "always", "never"):
+        raise EngineError(f"unknown mirror policy {mirror!r}; use auto, always or never")
+    if mirror == "never" or not isinstance(graph, DiGraph):
+        return graph
+    try:
+        from repro.graph.csr import CSRGraph
+    except ImportError:
+        if mirror == "always":
+            raise EngineError("mirror='always' requires numpy for the CSR backend")
+        return graph
+    return CSRGraph.from_digraph(graph)
+
+
+class PreparedGraph:
+    """The engine's prepared, read-only view of one data graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph.  A mutable :class:`DiGraph` is frozen into a
+        :class:`CSRGraph` mirror when numpy is available (``mirror="auto"``,
+        the default) — ``CSRGraph.from_digraph`` preserves neighbour
+        iteration order, so answers are identical on either substrate.
+    mirror:
+        ``"auto"`` (freeze when possible), ``"always"`` (error without
+        numpy) or ``"never"`` (serve on the graph as given).
+    compressed:
+        Optional precomputed SCC condensation of ``graph`` — pass it when
+        the caller already compressed the graph (as the experiment drivers
+        do for their baselines) to avoid a second O(V+E) compress pass.
+        Only accepted with ``mirror="never"``: the condensation must
+        describe the exact substrate the engine serves on.
+    """
+
+    def __init__(
+        self,
+        graph: GraphLike,
+        mirror: str = "auto",
+        compressed: Optional[CompressedGraph] = None,
+    ):
+        self.original = graph
+        self.graph = _freeze(graph, mirror)
+        if compressed is not None and compressed.original is not self.graph:
+            raise EngineError(
+                "precomputed compression must condense the graph the engine serves on "
+                "(pass mirror='never' when injecting a compression of the input graph)"
+            )
+        self._statistics: Optional[Mapping[str, object]] = None
+        self._compressed: Optional[CompressedGraph] = compressed
+        self._compress_seconds: float = 0.0
+        self._indexes: Dict[float, HierarchicalLandmarkIndex] = {}
+        self._index_build_seconds: Dict[float, float] = {}
+        self._rbreach: Dict[float, RBReach] = {}
+        self._neighborhood: Optional[NeighborhoodIndex] = None
+        self._neighborhood_precomputed = False
+        self._rbsim: Dict[float, RBSim] = {}
+        self._rbsub: Dict[float, RBSub] = {}
+
+    @property
+    def backend(self) -> str:
+        """Class name of the serving substrate (``CSRGraph`` or ``DiGraph``)."""
+        return type(self.graph).__name__
+
+    @property
+    def statistics(self) -> Mapping[str, object]:
+        """Label/degree statistics of the serving graph, computed on first use."""
+        if self._statistics is None:
+            self._statistics = summarize_for_report(self.graph, "prepared")
+        return self._statistics
+
+    # ------------------------------------------------------------------ #
+    # Reachability state
+    # ------------------------------------------------------------------ #
+    def compressed(self) -> CompressedGraph:
+        """The SCC condensation, built on first use (paper Section 5)."""
+        if self._compressed is None:
+            started = time.perf_counter()
+            self._compressed = compress(self.graph)
+            self._compress_seconds = time.perf_counter() - started
+        return self._compressed
+
+    def reachability_index(self, alpha: float) -> HierarchicalLandmarkIndex:
+        """The hierarchical landmark index for ``alpha``, built on first use."""
+        index = self._indexes.get(alpha)
+        if index is None:
+            compressed = self.compressed()
+            started = time.perf_counter()
+            index = build_index(compressed, alpha, reference_size=self.graph.size())
+            self._index_build_seconds[alpha] = time.perf_counter() - started
+            self._indexes[alpha] = index
+        return index
+
+    def index_build_seconds(self, alpha: float) -> float:
+        """Wall-clock cost of building the α index (0.0 if never built)."""
+        return self._index_build_seconds.get(alpha, 0.0)
+
+    def rbreach(self, alpha: float) -> RBReach:
+        """A matcher over the α index (one per α, shared by all queries)."""
+        matcher = self._rbreach.get(alpha)
+        if matcher is None:
+            matcher = RBReach(self.reachability_index(alpha))
+            self._rbreach[alpha] = matcher
+        return matcher
+
+    # ------------------------------------------------------------------ #
+    # Pattern state
+    # ------------------------------------------------------------------ #
+    def neighborhood_index(self) -> NeighborhoodIndex:
+        """The shared ``Sl`` summary cache consulted by the dynamic reduction."""
+        if self._neighborhood is None:
+            self._neighborhood = NeighborhoodIndex(self.graph)
+        return self._neighborhood
+
+    def rbsim(self, alpha: float) -> RBSim:
+        """The strong-simulation matcher for ``alpha`` (shared index)."""
+        matcher = self._rbsim.get(alpha)
+        if matcher is None:
+            matcher = RBSim(
+                self.graph, alpha, config=RBSimConfig(), neighborhood_index=self.neighborhood_index()
+            )
+            self._rbsim[alpha] = matcher
+        return matcher
+
+    def rbsub(self, alpha: float) -> RBSub:
+        """The subgraph-isomorphism matcher for ``alpha`` (shared index)."""
+        matcher = self._rbsub.get(alpha)
+        if matcher is None:
+            matcher = RBSub(
+                self.graph, alpha, config=RBSubConfig(), neighborhood_index=self.neighborhood_index()
+            )
+            self._rbsub[alpha] = matcher
+        return matcher
+
+    # ------------------------------------------------------------------ #
+    # Eager preparation
+    # ------------------------------------------------------------------ #
+    def prepare(self, kind: str, alpha: float, eager: bool = False) -> None:
+        """Eagerly build the state one query kind needs at one α.
+
+        The engine calls this *before* dispatching to a worker pool so every
+        worker receives finished state instead of rebuilding it: the build
+        happens once in the parent, not once per worker.
+
+        ``eager=True`` (used before forking a process pool) additionally runs
+        the paper's once-for-all offline pass for pattern kinds —
+        ``NeighborhoodIndex.precompute()`` — because a lazily-filled summary
+        cache shipped at fork time would make every worker re-summarise the
+        nodes its chunks touch.  Serial and thread executors share the cache
+        in-process, so they keep the cheaper lazy fill.
+        """
+        from repro.engine.queries import KINDS, REACH, SIMULATION
+
+        if kind not in KINDS:
+            raise EngineError(f"unknown query kind {kind!r}; known kinds: {', '.join(KINDS)}")
+        if kind == REACH:
+            self.rbreach(alpha)
+            return
+        if kind == SIMULATION:
+            self.rbsim(alpha)
+        else:
+            self.rbsub(alpha)
+        if eager and not self._neighborhood_precomputed:
+            self.neighborhood_index().precompute()
+            self._neighborhood_precomputed = True

@@ -58,5 +58,9 @@ class WorkloadError(ReproError):
     """Raised when a workload or dataset specification is invalid."""
 
 
+class EngineError(ReproError):
+    """Raised when the batched query engine is configured or used incorrectly."""
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment configuration is invalid."""

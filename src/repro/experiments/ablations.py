@@ -13,7 +13,7 @@ Two ablations are provided (both also exposed as pytest benchmarks):
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.accuracy import boolean_accuracy, mean_accuracy, pattern_accuracy
 from repro.core.rbsim import RBSim, RBSimConfig

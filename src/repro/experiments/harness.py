@@ -86,7 +86,10 @@ def profile(scale: str) -> ScaleProfile:
 # --------------------------------------------------------------------------- #
 # Individual experiments
 # --------------------------------------------------------------------------- #
-def _pattern_alpha(dataset_name: str, scale: ScaleProfile, experiment_id: str, title: str, seed: int) -> ExperimentResult:
+def _pattern_alpha(
+    dataset_name: str, scale: ScaleProfile, experiment_id: str, title: str, seed: int,
+    executor: str = "serial", workers: Optional[int] = None,
+) -> ExperimentResult:
     graph = load_dataset(dataset_name, seed=seed)
     return patterns.alpha_sweep(
         graph,
@@ -96,10 +99,15 @@ def _pattern_alpha(dataset_name: str, scale: ScaleProfile, experiment_id: str, t
         seed=seed,
         experiment_id=experiment_id,
         title=title,
+        executor=executor,
+        workers=workers,
     )
 
 
-def _pattern_query_size(dataset_name: str, scale: ScaleProfile, experiment_id: str, title: str, seed: int) -> ExperimentResult:
+def _pattern_query_size(
+    dataset_name: str, scale: ScaleProfile, experiment_id: str, title: str, seed: int,
+    executor: str = "serial", workers: Optional[int] = None,
+) -> ExperimentResult:
     graph = load_dataset(dataset_name, seed=seed)
     return patterns.query_size_sweep(
         graph,
@@ -110,10 +118,15 @@ def _pattern_query_size(dataset_name: str, scale: ScaleProfile, experiment_id: s
         seed=seed,
         experiment_id=experiment_id,
         title=title,
+        executor=executor,
+        workers=workers,
     )
 
 
-def _reach_alpha(dataset_name: str, scale: ScaleProfile, experiment_id: str, title: str, seed: int) -> ExperimentResult:
+def _reach_alpha(
+    dataset_name: str, scale: ScaleProfile, experiment_id: str, title: str, seed: int,
+    executor: str = "serial", workers: Optional[int] = None,
+) -> ExperimentResult:
     graph = load_dataset(dataset_name, seed=seed)
     return reachability.alpha_sweep(
         graph,
@@ -123,10 +136,17 @@ def _reach_alpha(dataset_name: str, scale: ScaleProfile, experiment_id: str, tit
         seed=seed,
         experiment_id=experiment_id,
         title=title,
+        executor=executor,
+        workers=workers,
     )
 
 
-def _registry(scale: ScaleProfile, seed: int) -> Dict[str, Callable[[], ExperimentResult]]:
+def _registry(
+    scale: ScaleProfile,
+    seed: int,
+    executor: str = "serial",
+    workers: Optional[int] = None,
+) -> Dict[str, Callable[[], ExperimentResult]]:
     """Experiment id → thunk producing the result."""
     return {
         "table2": lambda: patterns.table2_reduction_ratio(
@@ -137,30 +157,32 @@ def _registry(scale: ScaleProfile, seed: int) -> Dict[str, Callable[[], Experime
             alphas=scale.pattern_alphas,
             num_queries=scale.pattern_queries,
             seed=seed,
+            executor=executor,
+            workers=workers,
         ),
         "fig8a": lambda: _pattern_alpha(
-            scale.youtube_dataset, scale, "fig8a", "Pattern time vs alpha (Youtube surrogate)", seed
+            scale.youtube_dataset, scale, "fig8a", "Pattern time vs alpha (Youtube surrogate)", seed, executor, workers
         ),
         "fig8b": lambda: _pattern_alpha(
-            scale.yahoo_dataset, scale, "fig8b", "Pattern time vs alpha (Yahoo surrogate)", seed
+            scale.yahoo_dataset, scale, "fig8b", "Pattern time vs alpha (Yahoo surrogate)", seed, executor, workers
         ),
         "fig8c": lambda: _pattern_alpha(
-            scale.youtube_dataset, scale, "fig8c", "Pattern accuracy vs alpha (Youtube surrogate)", seed
+            scale.youtube_dataset, scale, "fig8c", "Pattern accuracy vs alpha (Youtube surrogate)", seed, executor, workers
         ),
         "fig8d": lambda: _pattern_alpha(
-            scale.yahoo_dataset, scale, "fig8d", "Pattern accuracy vs alpha (Yahoo surrogate)", seed
+            scale.yahoo_dataset, scale, "fig8d", "Pattern accuracy vs alpha (Yahoo surrogate)", seed, executor, workers
         ),
         "fig8e": lambda: _pattern_query_size(
-            scale.youtube_dataset, scale, "fig8e", "Pattern time vs |Q| (Youtube surrogate)", seed
+            scale.youtube_dataset, scale, "fig8e", "Pattern time vs |Q| (Youtube surrogate)", seed, executor, workers
         ),
         "fig8f": lambda: _pattern_query_size(
-            scale.yahoo_dataset, scale, "fig8f", "Pattern time vs |Q| (Yahoo surrogate)", seed
+            scale.yahoo_dataset, scale, "fig8f", "Pattern time vs |Q| (Yahoo surrogate)", seed, executor, workers
         ),
         "fig8g": lambda: _pattern_query_size(
-            scale.youtube_dataset, scale, "fig8g", "Pattern accuracy vs |Q| (Youtube surrogate)", seed
+            scale.youtube_dataset, scale, "fig8g", "Pattern accuracy vs |Q| (Youtube surrogate)", seed, executor, workers
         ),
         "fig8h": lambda: _pattern_query_size(
-            scale.yahoo_dataset, scale, "fig8h", "Pattern accuracy vs |Q| (Yahoo surrogate)", seed
+            scale.yahoo_dataset, scale, "fig8h", "Pattern accuracy vs |Q| (Yahoo surrogate)", seed, executor, workers
         ),
         "fig8i": lambda: patterns.graph_size_sweep(
             scale.synthetic_sizes,
@@ -169,6 +191,8 @@ def _registry(scale: ScaleProfile, seed: int) -> Dict[str, Callable[[], Experime
             seed=seed,
             experiment_id="fig8i",
             title="Pattern time vs |V| (synthetic)",
+            executor=executor,
+            workers=workers,
         ),
         "fig8j": lambda: patterns.graph_size_sweep(
             scale.synthetic_sizes,
@@ -177,18 +201,20 @@ def _registry(scale: ScaleProfile, seed: int) -> Dict[str, Callable[[], Experime
             seed=seed,
             experiment_id="fig8j",
             title="Pattern accuracy vs |V| (synthetic)",
+            executor=executor,
+            workers=workers,
         ),
         "fig8k": lambda: _reach_alpha(
-            scale.youtube_dataset, scale, "fig8k", "Reachability time vs alpha (Youtube surrogate)", seed
+            scale.youtube_dataset, scale, "fig8k", "Reachability time vs alpha (Youtube surrogate)", seed, executor, workers
         ),
         "fig8l": lambda: _reach_alpha(
-            scale.yahoo_dataset, scale, "fig8l", "Reachability time vs alpha (Yahoo surrogate)", seed
+            scale.yahoo_dataset, scale, "fig8l", "Reachability time vs alpha (Yahoo surrogate)", seed, executor, workers
         ),
         "fig8m": lambda: _reach_alpha(
-            scale.youtube_dataset, scale, "fig8m", "Reachability accuracy vs alpha (Youtube surrogate)", seed
+            scale.youtube_dataset, scale, "fig8m", "Reachability accuracy vs alpha (Youtube surrogate)", seed, executor, workers
         ),
         "fig8n": lambda: _reach_alpha(
-            scale.yahoo_dataset, scale, "fig8n", "Reachability accuracy vs alpha (Yahoo surrogate)", seed
+            scale.yahoo_dataset, scale, "fig8n", "Reachability accuracy vs alpha (Yahoo surrogate)", seed, executor, workers
         ),
         "fig8o": lambda: reachability.graph_size_sweep(
             scale.reach_sizes,
@@ -197,6 +223,8 @@ def _registry(scale: ScaleProfile, seed: int) -> Dict[str, Callable[[], Experime
             seed=seed,
             experiment_id="fig8o",
             title="Reachability time vs |V| (synthetic)",
+            executor=executor,
+            workers=workers,
         ),
         "fig8p": lambda: reachability.graph_size_sweep(
             scale.reach_sizes,
@@ -205,6 +233,8 @@ def _registry(scale: ScaleProfile, seed: int) -> Dict[str, Callable[[], Experime
             seed=seed,
             experiment_id="fig8p",
             title="Reachability accuracy vs |V| (synthetic)",
+            executor=executor,
+            workers=workers,
         ),
         "ablation-rbsim": lambda: ablations.rbsim_mechanisms(
             load_dataset(scale.youtube_dataset, seed=seed),
@@ -227,9 +257,20 @@ def available_experiments() -> List[str]:
     return sorted(_registry(QUICK, seed=0))
 
 
-def run_experiment(experiment_id: str, scale: str = "quick", seed: int = 0) -> ExperimentResult:
-    """Run a single experiment by id (e.g. ``"fig8c"`` or ``"table2"``)."""
-    registry = _registry(profile(scale), seed=seed)
+def run_experiment(
+    experiment_id: str,
+    scale: str = "quick",
+    seed: int = 0,
+    executor: str = "serial",
+    workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Run a single experiment by id (e.g. ``"fig8c"`` or ``"table2"``).
+
+    ``executor``/``workers`` select the engine executor used for the
+    RBSim/RBSub/RBReach batches (``serial``, ``thread`` or ``process``);
+    answers are identical to the serial path for every choice.
+    """
+    registry = _registry(profile(scale), seed=seed, executor=executor, workers=workers)
     try:
         thunk = registry[experiment_id]
     except KeyError:
@@ -239,7 +280,16 @@ def run_experiment(experiment_id: str, scale: str = "quick", seed: int = 0) -> E
     return thunk()
 
 
-def run_all(scale: str = "quick", seed: int = 0, only: Optional[Sequence[str]] = None) -> List[ExperimentResult]:
+def run_all(
+    scale: str = "quick",
+    seed: int = 0,
+    only: Optional[Sequence[str]] = None,
+    executor: str = "serial",
+    workers: Optional[int] = None,
+) -> List[ExperimentResult]:
     """Run every experiment (or the subset ``only``) and return their results."""
     wanted = list(only) if only else available_experiments()
-    return [run_experiment(experiment_id, scale=scale, seed=seed) for experiment_id in wanted]
+    return [
+        run_experiment(experiment_id, scale=scale, seed=seed, executor=executor, workers=workers)
+        for experiment_id in wanted
+    ]

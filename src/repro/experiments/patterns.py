@@ -4,19 +4,25 @@ Each driver runs the two resource-bounded algorithms (``RBSim``, ``RBSub``)
 against their exact baselines (``MatchOpt``, ``VF2OPT``) on a workload of
 embedded pattern queries and averages running time, accuracy and reduction
 ratios per x-value (α, |Q| or |V|).
+
+The resource-bounded side runs as *batches* through the
+:class:`~repro.engine.QueryEngine` (one prepared graph per sweep: CSR
+mirror plus shared neighbourhood summaries, then one batch per x-value),
+while the exact baselines stay on the raw graph — they are the yardstick the
+engine is measured against.  ``executor``/``workers`` pick the batch
+executor; answers are identical to the serial path for all of them.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.accuracy import mean_accuracy, pattern_accuracy
-from repro.core.rbsim import RBSim, RBSimConfig
-from repro.core.rbsub import RBSub, RBSubConfig
+from repro.engine import PatternQuery, QueryEngine
+from repro.engine.queries import SIMULATION, SUBGRAPH
 from repro.experiments.records import ExperimentResult, PatternRow
 from repro.graph.digraph import DiGraph
-from repro.graph.neighborhood import NeighborhoodIndex
 from repro.matching.strong_simulation import match_opt
 from repro.matching.vf2 import vf2_opt
 from repro.workloads.datasets import synthetic
@@ -30,57 +36,66 @@ def _evaluate_workload(
     dataset: str,
     x_label: str,
     x_value: float,
-    neighborhood_index: Optional[NeighborhoodIndex] = None,
+    engine: Optional[QueryEngine] = None,
     run_subgraph: bool = True,
+    executor: str = "serial",
+    workers: Optional[int] = None,
 ) -> PatternRow:
     """Run all four algorithms over one workload and aggregate a row."""
-    index = neighborhood_index or NeighborhoodIndex(graph)
-    rbsim = RBSim(graph, alpha, config=RBSimConfig(), neighborhood_index=index)
-    rbsub = RBSub(graph, alpha, config=RBSubConfig(), neighborhood_index=index)
+    # cache_size=0 keeps figure timings raw (no fingerprint/cache overhead).
+    engine = engine or QueryEngine(graph, cache_size=0)
+    queries = list(workload)
 
-    sim_times: List[float] = []
     matchopt_times: List[float] = []
-    sub_times: List[float] = []
-    vf2_times: List[float] = []
+    exact_sims = []
+    for query in queries:
+        started = time.perf_counter()
+        exact_sims.append(match_opt(query.pattern, graph, query.personalized_match))
+        matchopt_times.append(time.perf_counter() - started)
+
+    sim_batch = [
+        PatternQuery(query.pattern, query.personalized_match, semantics=SIMULATION)
+        for query in queries
+    ]
+    sim_report = engine.run_batch(sim_batch, alpha, executor=executor, workers=workers)
+    rbsim_time = sim_report.wall_seconds / max(1, len(queries))
+
     sim_accuracies = []
-    sub_accuracies = []
     reduction_ratios: List[float] = []
     budget_ratios: List[float] = []
     subgraph_sizes: List[float] = []
     ball_sizes: List[float] = []
-
-    for query in workload:
-        started = time.perf_counter()
-        exact_sim = match_opt(query.pattern, graph, query.personalized_match)
-        matchopt_times.append(time.perf_counter() - started)
-
-        started = time.perf_counter()
-        approx_sim = rbsim.answer(query.pattern, query.personalized_match)
-        sim_times.append(time.perf_counter() - started)
+    for exact_sim, approx_sim in zip(exact_sims, sim_report.answers):
         sim_accuracies.append(pattern_accuracy(exact_sim.answer, approx_sim.answer))
-
         ball_size = max(1, exact_sim.ball_size)
         reduction_ratios.append(approx_sim.subgraph_size / ball_size)
         budget_ratios.append(min(1.0, alpha * graph.size() / ball_size))
         subgraph_sizes.append(approx_sim.subgraph_size)
         ball_sizes.append(exact_sim.ball_size)
 
-        if run_subgraph:
+    vf2_times: List[float] = []
+    sub_accuracies = []
+    rbsub_time = 0.0
+    if run_subgraph:
+        exact_subs = []
+        for query in queries:
             started = time.perf_counter()
-            exact_sub = vf2_opt(query.pattern, graph, query.personalized_match)
+            exact_subs.append(vf2_opt(query.pattern, graph, query.personalized_match))
             vf2_times.append(time.perf_counter() - started)
 
-            started = time.perf_counter()
-            approx_sub = rbsub.answer(query.pattern, query.personalized_match)
-            sub_times.append(time.perf_counter() - started)
+        sub_batch = [
+            PatternQuery(query.pattern, query.personalized_match, semantics=SUBGRAPH)
+            for query in queries
+        ]
+        sub_report = engine.run_batch(sub_batch, alpha, executor=executor, workers=workers)
+        rbsub_time = sub_report.wall_seconds / max(1, len(queries))
+        for exact_sub, approx_sub in zip(exact_subs, sub_report.answers):
             sub_accuracies.append(pattern_accuracy(exact_sub.answer, approx_sub.answer))
 
     def _mean(values: Sequence[float]) -> float:
         return sum(values) / len(values) if values else 0.0
 
-    rbsim_time = _mean(sim_times)
     matchopt_time = _mean(matchopt_times)
-    rbsub_time = _mean(sub_times)
     vf2opt_time = _mean(vf2_times)
     return PatternRow(
         dataset=dataset,
@@ -113,10 +128,12 @@ def alpha_sweep(
     seed: int = 0,
     experiment_id: str = "fig8a",
     title: str = "Pattern queries: varying alpha",
+    executor: str = "serial",
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Figures 8(a)–8(d) and Table 2: sweep the resource ratio α."""
     workload = generate_pattern_workload(graph, shape=shape, count=num_queries, seed=seed)
-    index = NeighborhoodIndex(graph)
+    engine = QueryEngine(graph, cache_size=0)
     rows = [
         _evaluate_workload(
             graph,
@@ -125,7 +142,9 @@ def alpha_sweep(
             dataset=dataset,
             x_label="alpha",
             x_value=alpha,
-            neighborhood_index=index,
+            engine=engine,
+            executor=executor,
+            workers=workers,
         )
         for alpha in alphas
     ]
@@ -141,9 +160,11 @@ def query_size_sweep(
     seed: int = 0,
     experiment_id: str = "fig8e",
     title: str = "Pattern queries: varying |Q|",
+    executor: str = "serial",
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Figures 8(e)–8(h): sweep the query shape ``(|Vp|, |Ep|)`` at fixed α."""
-    index = NeighborhoodIndex(graph)
+    engine = QueryEngine(graph, cache_size=0)
     rows = []
     for shape in shapes:
         workload = generate_pattern_workload(graph, shape=shape, count=num_queries, seed=seed)
@@ -155,7 +176,9 @@ def query_size_sweep(
                 dataset=dataset,
                 x_label="|Q|",
                 x_value=shape[0],
-                neighborhood_index=index,
+                engine=engine,
+                executor=executor,
+                workers=workers,
             )
         )
     return ExperimentResult(experiment_id=experiment_id, title=title, rows=rows)
@@ -169,6 +192,8 @@ def graph_size_sweep(
     seed: int = 0,
     experiment_id: str = "fig8i",
     title: str = "Pattern queries: varying |V| (synthetic)",
+    executor: str = "serial",
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Figures 8(i)–8(j): sweep the synthetic graph size at fixed α and |Q|."""
     rows = []
@@ -183,6 +208,8 @@ def graph_size_sweep(
                 dataset=f"synthetic-{size}",
                 x_label="|V|",
                 x_value=size,
+                executor=executor,
+                workers=workers,
             )
         )
     return ExperimentResult(experiment_id=experiment_id, title=title, rows=rows)
@@ -194,6 +221,8 @@ def table2_reduction_ratio(
     shape: Tuple[int, int] = (4, 8),
     num_queries: int = 5,
     seed: int = 0,
+    executor: str = "serial",
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Table 2: ratio of ``alpha * |G|`` to ``|G_dQ(vp)|`` per dataset and α."""
     rows: List[PatternRow] = []
@@ -207,6 +236,8 @@ def table2_reduction_ratio(
             seed=seed,
             experiment_id="table2",
             title="Table 2",
+            executor=executor,
+            workers=workers,
         )
         rows.extend(result.rows)
     return ExperimentResult(

@@ -3,14 +3,22 @@
 ``RBReach`` is compared against ``BFS``, ``BFSOpt`` and the landmark-vector
 ``LM`` baseline on batches of reachability queries, sweeping either the
 resource ratio α or the synthetic graph size |V|.
+
+The RBReach side runs through the batched :class:`~repro.engine.QueryEngine`
+(prepare once — condensation, per-α landmark index — then answer the whole
+workload as one batch), so the experiment loop exercises exactly the serving
+path the CLI ``batch`` command exposes; ``executor``/``workers`` select the
+serial, thread-pool or process-pool executor with answers guaranteed
+identical to the serial path.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.accuracy import boolean_accuracy
+from repro.engine import QueryEngine, ReachQuery
 from repro.experiments.records import ExperimentResult, ReachabilityRow
 from repro.graph.digraph import DiGraph
 from repro.reachability.baselines import (
@@ -19,15 +27,12 @@ from repro.reachability.baselines import (
     LandmarkVectorReachability,
 )
 from repro.reachability.compression import CompressedGraph, compress
-from repro.reachability.hierarchy import build_index
-from repro.reachability.rbreach import RBReach
 from repro.workloads.datasets import synthetic
 from repro.workloads.queries import ReachabilityWorkload, generate_reachability_workload
 
 
 def _evaluate_alpha(
-    graph: DiGraph,
-    compressed: CompressedGraph,
+    engine: QueryEngine,
     workload: ReachabilityWorkload,
     alpha: float,
     dataset: str,
@@ -37,16 +42,23 @@ def _evaluate_alpha(
     bfsopt_time: float,
     lm_time: float,
     lm_accuracy: float,
+    executor: str = "serial",
+    workers: Optional[int] = None,
 ) -> ReachabilityRow:
-    """Build the index for one α, answer the workload, aggregate a row."""
-    started = time.perf_counter()
-    index = build_index(compressed, alpha, reference_size=graph.size())
-    build_time = time.perf_counter() - started
-    rbreach = RBReach(index)
+    """Build the index for one α, answer the workload as a batch, aggregate a row."""
+    index = engine.prepared.reachability_index(alpha)
+    build_time = engine.index_build_seconds(alpha)
 
-    started = time.perf_counter()
-    answers = rbreach.query_many(workload.pairs)
-    rb_time = time.perf_counter() - started
+    report = engine.run_batch(
+        [ReachQuery(source, target) for source, target in workload.pairs],
+        alpha,
+        executor=executor,
+        workers=workers,
+    )
+    answers = {
+        pair: answer.reachable for pair, answer in zip(workload.pairs, report.answers)
+    }
+    rb_time = report.wall_seconds
 
     accuracy = boolean_accuracy(workload.truth, answers)
     false_positives = sum(
@@ -111,6 +123,8 @@ def alpha_sweep(
     max_walk_length: int = 6,
     experiment_id: str = "fig8k",
     title: str = "Reachability: varying alpha",
+    executor: str = "serial",
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Figures 8(k)–8(n): sweep the resource ratio α on one dataset."""
     workload = generate_reachability_workload(
@@ -118,10 +132,14 @@ def alpha_sweep(
     )
     compressed = compress(graph)
     bfs_time, bfsopt_time, lm_time, lm_accuracy = _baseline_times(graph, compressed, workload, lm_seed=seed)
+    # One condensation serves both the baselines and the engine's index
+    # builds (mirror="never": the injected compression describes `graph`).
+    # cache_size=0: every workload pair is unique and the figure timings
+    # must stay raw — no fingerprinting or cache bookkeeping in rb_time.
+    engine = QueryEngine(graph, cache_size=0, mirror="never", compressed=compressed)
     rows = [
         _evaluate_alpha(
-            graph,
-            compressed,
+            engine,
             workload,
             alpha,
             dataset,
@@ -131,6 +149,8 @@ def alpha_sweep(
             bfsopt_time=bfsopt_time,
             lm_time=lm_time,
             lm_accuracy=lm_accuracy,
+            executor=executor,
+            workers=workers,
         )
         for alpha in alphas
     ]
@@ -145,6 +165,8 @@ def graph_size_sweep(
     max_walk_length: int = 6,
     experiment_id: str = "fig8o",
     title: str = "Reachability: varying |V| (synthetic)",
+    executor: str = "serial",
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Figures 8(o)–8(p): sweep the synthetic graph size for one or two α values."""
     rows: List[ReachabilityRow] = []
@@ -157,10 +179,10 @@ def graph_size_sweep(
         bfs_time, bfsopt_time, lm_time, lm_accuracy = _baseline_times(
             graph, compressed, workload, lm_seed=seed
         )
+        engine = QueryEngine(graph, cache_size=0, mirror="never", compressed=compressed)
         for alpha in alphas:
             row = _evaluate_alpha(
-                graph,
-                compressed,
+                engine,
                 workload,
                 alpha,
                 dataset=f"synthetic-{size}",
@@ -170,6 +192,8 @@ def graph_size_sweep(
                 bfsopt_time=bfsopt_time,
                 lm_time=lm_time,
                 lm_accuracy=lm_accuracy,
+                executor=executor,
+                workers=workers,
             )
             rows.append(row)
     return ExperimentResult(experiment_id=experiment_id, title=title, rows=rows)

@@ -21,7 +21,7 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
+from typing import Dict, FrozenSet, Mapping, Set, Tuple
 
 from repro.graph.digraph import DiGraph, NodeId
 

@@ -16,7 +16,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Set, Tuple
 
-from repro.graph.digraph import DiGraph, Label, NodeId
+from repro.graph.digraph import Label, NodeId
 from repro.graph.protocol import GraphLike
 
 

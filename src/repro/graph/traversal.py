@@ -17,7 +17,7 @@ booleans, node sets) dispatch to the vectorised kernels of
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.exceptions import NodeNotFoundError
 from repro.graph.protocol import GraphLike, NodeId

@@ -19,7 +19,7 @@ strong simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.graph.digraph import DiGraph, NodeId
 from repro.graph.neighborhood import ball

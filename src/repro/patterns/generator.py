@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Tuple
 
-from repro.exceptions import PatternError, WorkloadError
+from repro.exceptions import WorkloadError
 from repro.graph.digraph import DiGraph, Label, NodeId
 from repro.patterns.pattern import GraphPattern, make_pattern
 

@@ -25,12 +25,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from collections import deque
 
 from repro.exceptions import IndexBuildError
-from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.digraph import NodeId
 from repro.graph.protocol import GraphLike
 from repro.reachability.compression import CompressedGraph, compress
 from repro.reachability.landmarks import greedy_landmarks, out_of_index_labels

@@ -12,9 +12,10 @@ dominated by unreachable pairs and every algorithm trivially scores ~100%.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.exceptions import WorkloadError
 from repro.graph.digraph import NodeId
@@ -25,6 +26,42 @@ from repro.patterns.pattern import GraphPattern
 
 PAPER_QUERY_SHAPES: List[Tuple[int, int]] = [(4, 8), (5, 10), (6, 12), (7, 14), (8, 16)]
 """The query shapes swept in Fig. 8(e)–(h)."""
+
+
+def _digest(*parts: object) -> str:
+    """Stable hex digest of a sequence of ``repr``-able parts.
+
+    Uses sha1 over canonical ``repr`` strings rather than Python's ``hash``
+    so fingerprints agree across processes regardless of hash randomisation
+    — the engine's worker pools and its answer cache both rely on that.
+    """
+    hasher = hashlib.sha1()
+    for part in parts:
+        hasher.update(repr(part).encode("utf-8"))
+        hasher.update(b"\x1f")
+    return hasher.hexdigest()
+
+
+def reachability_fingerprint(source: NodeId, target: NodeId) -> str:
+    """Stable identity of the reachability query ``(source, target)``."""
+    return _digest("reach", source, target)
+
+
+def pattern_fingerprint(pattern: GraphPattern, personalized_match: NodeId) -> str:
+    """Stable identity of a pattern query pinned to its personalized match.
+
+    Edge order is part of the identity: the budgeted reduction's tie-breaking
+    follows stored adjacency order, so two patterns that differ only in edge
+    order are *not* interchangeable under a resource bound.
+    """
+    return _digest(
+        "pattern",
+        sorted((repr(node), repr(label)) for node, label in pattern.labels.items()),
+        pattern.edges,
+        pattern.personalized,
+        pattern.output,
+        personalized_match,
+    )
 
 
 @dataclass
@@ -38,6 +75,10 @@ class PatternQueryInstance:
     def shape(self) -> Tuple[int, int]:
         """The ``(|Vp|, |Ep|)`` shape of the pattern."""
         return self.pattern.shape()
+
+    def fingerprint(self) -> str:
+        """Stable identity used by the engine's answer cache."""
+        return pattern_fingerprint(self.pattern, self.personalized_match)
 
 
 @dataclass
@@ -108,6 +149,10 @@ class ReachabilityWorkload:
         """Number of pairs whose exact answer is True."""
         return sum(1 for pair in self.pairs if self.truth[pair])
 
+    def fingerprints(self) -> List[str]:
+        """Per-pair stable identities, aligned with :attr:`pairs`."""
+        return [reachability_fingerprint(source, target) for source, target in self.pairs]
+
 
 def generate_reachability_workload(
     graph: GraphLike,
@@ -176,6 +221,46 @@ def generate_reachability_workload(
     if not workload.pairs:
         raise WorkloadError("failed to sample any reachability pairs")
     return workload
+
+
+def sample_mixed_pairs(
+    graph: GraphLike,
+    count: int,
+    seed: int = 0,
+    max_walk_length: int = 12,
+) -> List[Tuple[NodeId, NodeId]]:
+    """Unverified pair sample: forward-walk positives plus uniform pairs.
+
+    The first half is generated by random forward walks, so those targets are
+    reachable by construction and force RBReach into a real bidirectional
+    index search; the rest are uniform ordered pairs (mostly refuted in O(1)
+    by the topological-rank guard).  Unlike
+    :func:`generate_reachability_workload` no exact oracle is consulted, so
+    sampling is O(count · walk) — this is the throughput-benchmark workload,
+    where ground truth is not needed.
+    """
+    if count <= 0:
+        raise WorkloadError("count must be positive")
+    nodes = list(graph.nodes())
+    if len(nodes) < 2:
+        raise WorkloadError("graph too small for reachability queries")
+    rng = random.Random(seed)
+    pairs: List[Tuple[NodeId, NodeId]] = []
+    attempts = 0
+    while len(pairs) < count // 2 and attempts < count * 20:
+        attempts += 1
+        source = rng.choice(nodes)
+        node = source
+        for _ in range(rng.randint(2, max_walk_length)):
+            successors = list(graph.successors(node))
+            if not successors:
+                break
+            node = rng.choice(successors)
+        if node != source:
+            pairs.append((source, node))
+    while len(pairs) < count:
+        pairs.append((rng.choice(nodes), rng.choice(nodes)))
+    return pairs
 
 
 def _oracle_reachable(graph: GraphLike, source: NodeId, target: NodeId) -> bool:

@@ -1,0 +1,417 @@
+"""Tests for the batched query engine (``repro.engine``).
+
+The load-bearing property is the parity contract: for any executor and
+worker count, batch answers are bit-identical to the serial path — asserted
+field-by-field on the answer objects, not just on the Boolean verdicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    AnswerCache,
+    PatternQuery,
+    PreparedGraph,
+    QueryEngine,
+    ReachQuery,
+    make_executor,
+)
+from repro.exceptions import EngineError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.workloads.queries import (
+    generate_pattern_workload,
+    generate_reachability_workload,
+    pattern_fingerprint,
+    reachability_fingerprint,
+)
+
+ALPHA = 0.05
+
+
+def _reach_signature(answer):
+    return (answer.reachable, answer.visited, answer.met_at, answer.exhausted)
+
+
+def _pattern_signature(answer):
+    return (frozenset(answer.answer), answer.subgraph_size)
+
+
+@pytest.fixture(scope="module")
+def served_graph():
+    """A 600-node scale-free graph (module copy of the session fixture)."""
+    from repro.graph.generators import preferential_attachment_graph
+
+    return preferential_attachment_graph(
+        num_nodes=600, edges_per_node=2, seed=13, back_edge_probability=0.08
+    )
+
+
+@pytest.fixture(scope="module")
+def reach_queries(served_graph):
+    workload = generate_reachability_workload(served_graph, count=60, seed=4)
+    return [ReachQuery(source, target) for source, target in workload.pairs]
+
+
+@pytest.fixture(scope="module")
+def pattern_queries(served_graph):
+    workload = generate_pattern_workload(served_graph, shape=(4, 6), count=3, seed=4)
+    return [PatternQuery(query.pattern, query.personalized_match) for query in workload]
+
+
+class TestConstruction:
+    def test_digraph_is_mirrored_to_csr(self, served_graph):
+        engine = QueryEngine(served_graph)
+        assert engine.backend == "CSRGraph"
+        assert engine.prepared.original is served_graph
+
+    def test_mirror_never_serves_the_digraph(self, served_graph):
+        engine = QueryEngine(served_graph, mirror="never")
+        assert engine.backend == "DiGraph"
+
+    def test_csr_input_is_served_directly(self, served_graph):
+        frozen = CSRGraph.from_digraph(served_graph)
+        engine = QueryEngine(frozen)
+        assert engine.backend == "CSRGraph"
+        assert engine.prepared.graph is frozen
+
+    def test_unknown_mirror_policy_rejected(self, served_graph):
+        with pytest.raises(EngineError):
+            QueryEngine(served_graph, mirror="sometimes")
+
+    def test_precomputed_compression_is_reused(self, served_graph):
+        from repro.reachability.compression import compress
+
+        compressed = compress(served_graph)
+        engine = QueryEngine(served_graph, mirror="never", compressed=compressed)
+        assert engine.prepared.compressed() is compressed
+        index = engine.prepared.reachability_index(ALPHA)
+        assert index.compressed is compressed
+
+    def test_precomputed_compression_requires_matching_substrate(self, served_graph):
+        from repro.reachability.compression import compress
+
+        compressed = compress(served_graph)
+        # mirror="auto" freezes to CSR, which the DiGraph condensation does
+        # not describe — the engine must refuse rather than serve wrong state.
+        with pytest.raises(EngineError):
+            QueryEngine(served_graph, compressed=compressed)
+
+    def test_statistics_built_once(self, served_graph):
+        engine = QueryEngine(served_graph)
+        assert engine.statistics["nodes"] == served_graph.num_nodes()
+        assert engine.statistics["edges"] == served_graph.num_edges()
+        assert engine.statistics["max_degree"] == served_graph.max_degree()
+
+    def test_both_backends_answer_identically(self, served_graph, reach_queries):
+        mutable = QueryEngine(served_graph, mirror="never")
+        frozen = QueryEngine(CSRGraph.from_digraph(served_graph))
+        left = mutable.answer_batch(reach_queries, ALPHA)
+        right = frozen.answer_batch(reach_queries, ALPHA)
+        assert [_reach_signature(a) for a in left] == [_reach_signature(a) for a in right]
+
+
+class TestExecutorParity:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_reach_parity(self, served_graph, reach_queries, executor, workers):
+        engine = QueryEngine(served_graph, cache_size=0)
+        serial = engine.answer_batch(reach_queries, ALPHA)
+        parallel = engine.answer_batch(reach_queries, ALPHA, executor=executor, workers=workers)
+        assert [_reach_signature(a) for a in serial] == [_reach_signature(a) for a in parallel]
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_pattern_parity(self, served_graph, pattern_queries, executor):
+        engine = QueryEngine(served_graph, cache_size=0)
+        serial = engine.answer_batch(pattern_queries, ALPHA)
+        parallel = engine.answer_batch(pattern_queries, ALPHA, executor=executor, workers=2)
+        assert [_pattern_signature(a) for a in serial] == [
+            _pattern_signature(a) for a in parallel
+        ]
+
+    def test_mixed_kind_batch_parity(self, served_graph, reach_queries, pattern_queries):
+        engine = QueryEngine(served_graph, cache_size=0)
+        batch = list(reach_queries[:10]) + list(pattern_queries) + list(reach_queries[10:20])
+        serial = engine.answer_batch(batch, ALPHA)
+        threaded = engine.answer_batch(batch, ALPHA, executor="thread", workers=3)
+        assert len(serial) == len(batch)
+        for query, left, right in zip(batch, serial, threaded):
+            if isinstance(query, ReachQuery):
+                assert _reach_signature(left) == _reach_signature(right)
+            else:
+                assert _pattern_signature(left) == _pattern_signature(right)
+
+    def test_unknown_executor_rejected(self, served_graph, reach_queries):
+        engine = QueryEngine(served_graph)
+        with pytest.raises(EngineError):
+            engine.answer_batch(reach_queries, ALPHA, executor="gpu")
+
+    def test_make_executor_rejects_unknown_name(self):
+        with pytest.raises(EngineError):
+            make_executor("fleet")
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        indices=st.lists(st.integers(min_value=0, max_value=599), min_size=2, max_size=24),
+        workers=st.integers(min_value=1, max_value=5),
+        alpha=st.sampled_from([0.01, 0.05, 0.2]),
+    )
+    def test_parity_property(self, served_graph, indices, workers, alpha):
+        """Serial and threaded answers agree for arbitrary batches/worker counts."""
+        pairs = list(zip(indices, indices[1:]))
+        queries = [ReachQuery(source, target) for source, target in pairs]
+        engine = QueryEngine(served_graph, cache_size=0)
+        serial = engine.answer_batch(queries, alpha)
+        threaded = engine.answer_batch(queries, alpha, executor="thread", workers=workers)
+        assert [_reach_signature(a) for a in serial] == [_reach_signature(a) for a in threaded]
+
+
+class TestCache:
+    def test_second_batch_is_all_hits(self, served_graph, reach_queries):
+        engine = QueryEngine(served_graph)
+        cold = engine.run_batch(reach_queries, ALPHA)
+        warm = engine.run_batch(reach_queries, ALPHA)
+        assert cold.cache_hits == 0 and cold.cache_misses == len(reach_queries)
+        assert warm.cache_hits == len(reach_queries) and warm.cache_misses == 0
+        assert [_reach_signature(a) for a in cold.answers] == [
+            _reach_signature(a) for a in warm.answers
+        ]
+
+    def test_alpha_change_misses_and_recomputes(self, served_graph, reach_queries):
+        """A cached answer for one α must never serve a query at another α."""
+        engine = QueryEngine(served_graph)
+        engine.run_batch(reach_queries, 0.01)
+        other = engine.run_batch(reach_queries, 0.2)
+        assert other.cache_hits == 0 and other.cache_misses == len(reach_queries)
+        # And the recomputed answers match a fresh engine at that α exactly.
+        fresh = QueryEngine(served_graph).run_batch(reach_queries, 0.2)
+        assert [_reach_signature(a) for a in other.answers] == [
+            _reach_signature(a) for a in fresh.answers
+        ]
+
+    def test_graph_change_means_new_engine_and_cold_cache(self, served_graph):
+        """Caches are engine-scoped: a changed graph gets a fresh engine/cache."""
+        engine = QueryEngine(served_graph)
+        pair = next(iter(served_graph.edges()))
+        engine.answer_batch([ReachQuery(*pair)], ALPHA)
+
+        mutated = served_graph.copy() if hasattr(served_graph, "copy") else None
+        if mutated is None:
+            mutated = DiGraph()
+            for node in served_graph.nodes():
+                mutated.add_node(node, served_graph.label(node))
+            for source, target in served_graph.edges():
+                mutated.add_edge(source, target)
+        mutated.add_node("fresh-node", "Z")
+        mutated.add_edge(pair[0], "fresh-node")
+
+        rebuilt = QueryEngine(mutated)
+        report = rebuilt.run_batch([ReachQuery(*pair)], ALPHA)
+        assert report.cache_hits == 0  # nothing leaked across engines
+
+    def test_cache_disabled_by_zero_capacity(self, served_graph, reach_queries):
+        engine = QueryEngine(served_graph, cache_size=0)
+        engine.run_batch(reach_queries, ALPHA)
+        again = engine.run_batch(reach_queries, ALPHA)
+        assert again.cache_hits == 0
+
+    def test_clear_cache_resets(self, served_graph, reach_queries):
+        engine = QueryEngine(served_graph)
+        engine.run_batch(reach_queries, ALPHA)
+        engine.clear_cache()
+        report = engine.run_batch(reach_queries, ALPHA)
+        assert report.cache_hits == 0
+        assert engine.cache_stats().entries == len(reach_queries)
+
+    def test_lru_eviction_order(self):
+        cache = AnswerCache(capacity=2)
+        cache.put("a", 0.1, 1)
+        cache.put("b", 0.1, 2)
+        assert cache.get("a", 0.1) == (True, 1)  # refresh "a"
+        cache.put("c", 0.1, 3)  # evicts "b", the least recently used
+        assert cache.get("b", 0.1) == (False, None)
+        assert cache.get("a", 0.1) == (True, 1)
+        assert cache.get("c", 0.1) == (True, 3)
+
+    def test_stats_hit_rate(self):
+        cache = AnswerCache(capacity=4)
+        cache.put("x", 0.5, "answer")
+        cache.get("x", 0.5)
+        cache.get("y", 0.5)
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+
+class TestFingerprints:
+    def test_reach_fingerprint_stable_and_distinct(self):
+        assert reachability_fingerprint(1, 2) == reachability_fingerprint(1, 2)
+        assert reachability_fingerprint(1, 2) != reachability_fingerprint(2, 1)
+        assert ReachQuery(1, 2).fingerprint() == reachability_fingerprint(1, 2)
+
+    def test_pattern_fingerprint_covers_match_and_semantics(self, served_graph):
+        workload = generate_pattern_workload(served_graph, shape=(4, 5), count=1, seed=2)
+        query = workload.queries[0]
+        assert query.fingerprint() == pattern_fingerprint(
+            query.pattern, query.personalized_match
+        )
+        sim = PatternQuery(query.pattern, query.personalized_match, semantics="simulation")
+        sub = PatternQuery(query.pattern, query.personalized_match, semantics="subgraph")
+        assert sim.fingerprint() != sub.fingerprint()
+        other_match = PatternQuery(query.pattern, "someone-else")
+        assert sim.fingerprint() != other_match.fingerprint()
+
+    def test_pattern_query_rejects_unknown_semantics(self, served_graph):
+        workload = generate_pattern_workload(served_graph, shape=(4, 5), count=1, seed=2)
+        query = workload.queries[0]
+        with pytest.raises(EngineError):
+            PatternQuery(query.pattern, query.personalized_match, semantics="vf3")
+
+
+class TestReportAndConvenience:
+    def test_report_telemetry(self, served_graph, reach_queries):
+        engine = QueryEngine(served_graph)
+        report = engine.run_batch(reach_queries, ALPHA, executor="thread", workers=2)
+        assert report.executor == "thread" and report.workers == 2
+        assert report.wall_seconds > 0 and report.throughput > 0
+        assert report.kinds == {"reach": len(reach_queries)}
+        assert report.chunks >= 1
+        # The composition describes the batch even when fully cache-served.
+        warm = engine.run_batch(reach_queries, ALPHA)
+        assert warm.kinds == {"reach": len(reach_queries)}
+        assert warm.chunks == 0
+
+    def test_answer_reachability_matches_query_many(self, served_graph):
+        workload = generate_reachability_workload(served_graph, count=25, seed=11)
+        engine = QueryEngine(served_graph, mirror="never")
+        mapping = engine.answer_reachability(workload.pairs, ALPHA)
+        direct = engine.prepared.rbreach(ALPHA).query_many(workload.pairs)
+        assert mapping == direct
+
+    def test_answer_patterns_matches_matcher(self, served_graph):
+        workload = generate_pattern_workload(served_graph, shape=(4, 5), count=2, seed=3)
+        engine = QueryEngine(served_graph)
+        answers = engine.answer_patterns(
+            [(query.pattern, query.personalized_match) for query in workload], ALPHA
+        )
+        matcher = engine.prepared.rbsim(ALPHA)
+        expected = [
+            matcher.answer(query.pattern, query.personalized_match) for query in workload
+        ]
+        assert [a.answer for a in answers] == [e.answer for e in expected]
+
+    def test_invalid_alpha_rejected(self, served_graph, reach_queries):
+        engine = QueryEngine(served_graph)
+        with pytest.raises(EngineError):
+            engine.answer_batch(reach_queries, 0.0)
+
+    def test_empty_batch(self, served_graph):
+        engine = QueryEngine(served_graph)
+        report = engine.run_batch([], ALPHA)
+        assert report.answers == [] and report.chunks == 0
+
+    def test_prepare_returns_self_and_builds_index(self, served_graph):
+        engine = QueryEngine(served_graph)
+        assert engine.prepare(reach_alphas=[ALPHA]) is engine
+        assert engine.index_build_seconds(ALPHA) > 0
+        assert engine.prepared.reachability_index(ALPHA).size() > 0
+
+    def test_prepared_rejects_unknown_kind(self, served_graph):
+        prepared = PreparedGraph(served_graph)
+        with pytest.raises(EngineError):
+            prepared.prepare("teleport", ALPHA)
+
+
+class TestCliBatch:
+    def test_batch_smoke(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "batch",
+                    "--dataset",
+                    "youtube-small",
+                    "--count",
+                    "20",
+                    "--alpha",
+                    "0.05",
+                    "--repeat",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "cache hits=20" in out  # second run served from the LRU cache
+
+    def test_batch_thread_executor_with_compare(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "batch",
+                    "--count",
+                    "15",
+                    "--executor",
+                    "thread",
+                    "--workers",
+                    "2",
+                    "--compare-serial",
+                ]
+            )
+            == 0
+        )
+        assert "identical answers" in capsys.readouterr().out
+
+    def test_batch_pattern_kind(self, capsys):
+        from repro.cli import main
+
+        assert main(["batch", "--kind", "sim", "--count", "2", "--alpha", "0.02"]) == 0
+        assert "kind=sim" in capsys.readouterr().out
+
+    def test_batch_queries_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        queries = tmp_path / "queries.txt"
+        queries.write_text("# reach pairs\n1 2\n5 9\n", encoding="utf-8")
+        output = tmp_path / "report.json"
+        assert (
+            main(["batch", "--queries", str(queries), "--output", str(output)]) == 0
+        )
+        import json
+
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert payload["num_queries"] == 2
+        assert payload["runs"][0]["cache_misses"] == 2
+
+    def test_batch_warns_on_unknown_node_ids(self, tmp_path, capsys):
+        from repro.cli import main
+
+        queries = tmp_path / "queries.txt"
+        queries.write_text("1 2\nno-such-node 99999999\n", encoding="utf-8")
+        assert main(["batch", "--queries", str(queries)]) == 0
+        captured = capsys.readouterr()
+        assert "not in dataset" in captured.err
+
+    def test_batch_rejects_malformed_queries_file(self, tmp_path):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.txt"
+        bad.write_text("1 2 3\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["batch", "--queries", str(bad)])
+
+    def test_run_accepts_executor_flag(self):
+        from repro.cli import main
+
+        assert main(["run", "fig8m", "--executor", "thread", "--workers", "2"]) == 0

@@ -1,0 +1,318 @@
+#!/usr/bin/env python
+"""Machine-readable benchmark reports plus the CI regression gate.
+
+Runs two quick smoke suites and writes one JSON report each:
+
+* ``BENCH_engine.json`` — the batched query engine: serial vs process-pool
+  throughput on an RBReach batch, parallel speedup, LRU-cache behaviour;
+* ``BENCH_backend.json`` — DiGraph vs CSRGraph on the BFS-heavy traversal
+  suite and the end-to-end RBReach experiment loop.
+
+Each report carries a ``gates`` table naming the metrics CI guards.  Gated
+metrics are deliberately *relative* (speedups, hit rates): they transfer
+across runner generations, unlike absolute wall times, which are recorded
+for information only.  ``--check`` compares the fresh numbers against the
+committed baselines in ``benchmarks/baselines/`` and fails when any gated
+metric regresses by more than ``--tolerance`` (default 30%).  After an
+intentional performance change, refresh the baselines with ``--update``.
+
+Usage:
+    python tools/bench_report.py                 # run suites, write reports
+    python tools/bench_report.py --check         # ... and enforce the gate
+    python tools/bench_report.py --update        # ... and rewrite baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+DEFAULT_OUTPUT_DIR = ROOT / "benchmarks" / "_reports"
+DEFAULT_BASELINE_DIR = ROOT / "benchmarks" / "baselines"
+DEFAULT_TOLERANCE = 0.30
+
+SEED = 7
+ENGINE_ALPHA = 0.1
+ENGINE_QUERIES = 1500
+BACKEND_TRAVERSAL_SOURCES = 8
+BACKEND_RBREACH_QUERIES = 200
+
+
+def _cores() -> int:
+    from repro.engine import default_workers
+
+    return default_workers()
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cores": _cores(),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Suites
+# --------------------------------------------------------------------------- #
+def engine_suite() -> dict:
+    """Serial vs parallel batched answering plus cache behaviour."""
+    from repro.engine import QueryEngine, ReachQuery
+    from repro.workloads.datasets import load_dataset
+    from repro.workloads.queries import sample_mixed_pairs
+
+    graph = load_dataset("yahoo-small", seed=SEED)
+    queries = [
+        ReachQuery(source, target)
+        for source, target in sample_mixed_pairs(graph, ENGINE_QUERIES, seed=SEED)
+    ]
+
+    engine = QueryEngine(graph, cache_size=0)
+    started = time.perf_counter()
+    engine.prepare(reach_alphas=[ENGINE_ALPHA])
+    prepare_seconds = time.perf_counter() - started
+
+    serial = engine.run_batch(queries, ENGINE_ALPHA)
+    workers = min(4, max(2, _cores()))
+    process = engine.run_batch(queries, ENGINE_ALPHA, executor="process", workers=workers)
+    if [a.reachable for a in serial.answers] != [a.reachable for a in process.answers]:
+        raise SystemExit("engine suite: process executor diverged from serial answers")
+    parallel_speedup = (
+        process.throughput / serial.throughput if serial.throughput > 0 else 0.0
+    )
+
+    cached = QueryEngine(graph, cache_size=len(queries) + 1)
+    cached.prepare(reach_alphas=[ENGINE_ALPHA])
+    cold = cached.run_batch(queries, ENGINE_ALPHA)
+    warm = cached.run_batch(queries, ENGINE_ALPHA)
+    cache_speedup = (
+        cold.wall_seconds / warm.wall_seconds if warm.wall_seconds > 0 else float("inf")
+    )
+    cache_hit_rate = warm.cache_hits / max(1, len(queries))
+
+    return {
+        "suite": "engine",
+        "schema_version": 1,
+        "environment": _environment(),
+        "config": {
+            "dataset": "yahoo-small",
+            "alpha": ENGINE_ALPHA,
+            "queries": ENGINE_QUERIES,
+            "workers": workers,
+        },
+        "metrics": {
+            "prepare_seconds": round(prepare_seconds, 4),
+            "serial_wall_seconds": round(serial.wall_seconds, 4),
+            "serial_qps": round(serial.throughput, 1),
+            "process_wall_seconds": round(process.wall_seconds, 4),
+            "process_qps": round(process.throughput, 1),
+            "parallel_speedup": round(parallel_speedup, 3),
+            "cache_warm_wall_seconds": round(warm.wall_seconds, 5),
+            "cache_speedup": round(min(cache_speedup, 1000.0), 1),
+            "cache_hit_rate": round(cache_hit_rate, 3),
+        },
+        # Relative metrics only: absolute q/s depends on the runner and is
+        # informational.  parallel_speedup is gated against a conservative
+        # committed floor so faster CI runners only ever raise the bar.
+        "gates": {
+            "parallel_speedup": "higher",
+            "cache_speedup": "higher",
+            "cache_hit_rate": "higher",
+        },
+    }
+
+
+def backend_suite() -> dict:
+    """DiGraph vs CSRGraph on traversal and the RBReach experiment loop."""
+    from repro.graph import traversal as tr
+    from repro.graph.csr import CSRGraph
+    from repro.reachability.rbreach import RBReach
+    from repro.workloads.datasets import yahoo_like
+    from repro.workloads.queries import generate_reachability_workload
+
+    digraph = yahoo_like(seed=SEED)
+    csr = CSRGraph.from_digraph(digraph)
+    rng = random.Random(SEED)
+    nodes = list(digraph.nodes())
+    sources = [rng.choice(nodes) for _ in range(BACKEND_TRAVERSAL_SOURCES)]
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(20)]
+
+    def traversal_suite(graph):
+        levels = [tr.bfs_levels(graph, source) for source in sources]
+        upstream = [tr.ancestors(graph, source) for source in sources]
+        oracle = [tr.bidirectional_reachable(graph, s, t) for s, t in pairs]
+        return levels, upstream, oracle
+
+    def timed(fn, rounds=2):
+        best = float("inf")
+        result = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    traversal_suite(digraph)
+    traversal_suite(csr)  # warm both paths before timing
+    base_result, digraph_traversal = timed(lambda: traversal_suite(digraph))
+    csr_result, csr_traversal = timed(lambda: traversal_suite(csr))
+    if base_result != csr_result:
+        raise SystemExit("backend suite: traversal results diverged between backends")
+    traversal_speedup = digraph_traversal / csr_traversal if csr_traversal > 0 else 0.0
+
+    def rbreach_loop(graph):
+        workload = generate_reachability_workload(
+            graph, count=BACKEND_RBREACH_QUERIES, seed=SEED
+        )
+        matcher = RBReach.from_graph(graph, alpha=0.01)
+        answers = {pair: matcher.query(*pair).reachable for pair in workload.pairs}
+        return sum(1 for pair, truth in workload.truth.items() if answers[pair] == truth)
+
+    base_correct, digraph_rbreach = timed(lambda: rbreach_loop(digraph))
+    csr_correct, csr_rbreach = timed(lambda: rbreach_loop(csr))
+    if base_correct != csr_correct:
+        raise SystemExit("backend suite: RBReach answers diverged between backends")
+    rbreach_speedup = digraph_rbreach / csr_rbreach if csr_rbreach > 0 else 0.0
+
+    return {
+        "suite": "backend",
+        "schema_version": 1,
+        "environment": _environment(),
+        "config": {
+            "dataset": "yahoo-like",
+            "traversal_sources": BACKEND_TRAVERSAL_SOURCES,
+            "rbreach_queries": BACKEND_RBREACH_QUERIES,
+        },
+        "metrics": {
+            "digraph_traversal_seconds": round(digraph_traversal, 4),
+            "csr_traversal_seconds": round(csr_traversal, 4),
+            "csr_traversal_speedup": round(traversal_speedup, 3),
+            "digraph_rbreach_seconds": round(digraph_rbreach, 4),
+            "csr_rbreach_seconds": round(csr_rbreach, 4),
+            "csr_rbreach_speedup": round(rbreach_speedup, 3),
+        },
+        "gates": {
+            "csr_traversal_speedup": "higher",
+            "csr_rbreach_speedup": "higher",
+        },
+    }
+
+
+SUITES = {"engine": engine_suite, "backend": backend_suite}
+
+
+# --------------------------------------------------------------------------- #
+# Gate
+# --------------------------------------------------------------------------- #
+def check_against_baseline(report: dict, baseline: dict, tolerance: float) -> list:
+    """Failure messages for every gated metric that regressed past tolerance."""
+    failures = []
+    for metric, direction in baseline.get("gates", {}).items():
+        base_value = baseline["metrics"].get(metric)
+        current = report["metrics"].get(metric)
+        if base_value is None:
+            continue
+        if current is None:
+            failures.append(f"{report['suite']}: gated metric {metric!r} missing from report")
+            continue
+        if direction == "higher":
+            floor = base_value * (1.0 - tolerance)
+            if current < floor:
+                failures.append(
+                    f"{report['suite']}.{metric}: {current:.3f} regressed below "
+                    f"{floor:.3f} (baseline {base_value:.3f}, tolerance {tolerance:.0%})"
+                )
+        else:  # "lower": smaller is better (reserved for wall-time gates)
+            ceiling = base_value * (1.0 + tolerance)
+            if current > ceiling:
+                failures.append(
+                    f"{report['suite']}.{metric}: {current:.3f} regressed above "
+                    f"{ceiling:.3f} (baseline {base_value:.3f}, tolerance {tolerance:.0%})"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output-dir", type=Path, default=DEFAULT_OUTPUT_DIR)
+    parser.add_argument("--baseline-dir", type=Path, default=DEFAULT_BASELINE_DIR)
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument("--check", action="store_true", help="fail on gated regressions")
+    parser.add_argument("--update", action="store_true", help="rewrite the committed baselines")
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES) + ["all"],
+        default="all",
+        help="run a single suite (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(SUITES) if args.suite == "all" else [args.suite]
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = []
+    for name in names:
+        print(f"[bench_report] running {name} suite ...", flush=True)
+        report = SUITES[name]()
+        output_path = args.output_dir / f"BENCH_{name}.json"
+        output_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        gated = {metric: report["metrics"][metric] for metric in report["gates"]}
+        print(f"[bench_report] {name}: {gated} -> {output_path}")
+
+        if args.update:
+            args.baseline_dir.mkdir(parents=True, exist_ok=True)
+            baseline_path = args.baseline_dir / f"BENCH_{name}.json"
+            merged = dict(report)
+            if baseline_path.exists():
+                # Gated metrics are conservative *floors*: --update only ever
+                # lowers them (a fast workstation must not bake in a bar that
+                # a shared CI runner can never clear).  Raising a floor after
+                # an intentional improvement is a deliberate act — edit the
+                # baseline file by hand.
+                previous = json.loads(baseline_path.read_text(encoding="utf-8"))
+                if "note" in previous:
+                    merged["note"] = previous["note"]
+                for metric, direction in merged.get("gates", {}).items():
+                    old_value = previous.get("metrics", {}).get(metric)
+                    if old_value is not None:
+                        # "higher"-is-better gates keep the lower floor;
+                        # "lower"-is-better gates keep the higher ceiling.
+                        relax = min if direction == "higher" else max
+                        merged["metrics"] = dict(merged["metrics"])
+                        merged["metrics"][metric] = relax(merged["metrics"][metric], old_value)
+            baseline_path.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
+            print(
+                f"[bench_report] baseline updated: {baseline_path} "
+                "(gated floors only ratchet down; raise them by editing the file)"
+            )
+        elif args.check:
+            baseline_path = args.baseline_dir / f"BENCH_{name}.json"
+            if not baseline_path.exists():
+                failures.append(f"{name}: no committed baseline at {baseline_path}")
+                continue
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+            failures.extend(check_against_baseline(report, baseline, args.tolerance))
+
+    if failures:
+        print("[bench_report] REGRESSIONS DETECTED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print("[bench_report] intentional change? refresh with: python tools/bench_report.py --update")
+        return 1
+    if args.check:
+        print("[bench_report] regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
