@@ -2,17 +2,25 @@
 #
 #   make test         - tier-1 test suite (the gate every PR must keep green)
 #   make lint         - ruff + mypy when installed, compileall always
-#   make bench-smoke  - fast end-to-end benchmarks (CSR backend + engine)
+#   make coverage     - tier-1 suite under pytest-cov + committed-floor gate
+#                       (skips with a warning when pytest-cov is missing)
+#   make bench-smoke  - fast end-to-end benchmarks (CSR backend + engine + updates)
 #   make bench        - the full paper-figure benchmark suite
 #   make bench-report - write machine-readable BENCH_*.json reports
 #   make bench-check  - bench-report + fail on >30% gated-metric regression
 #   make docs-check   - run README code blocks + lint documentation links
-#   make ci           - the exact sequence .github/workflows/ci.yml runs
+#   make ci           - every gate .github/workflows/ci.yml enforces (the
+#                       workflow runs coverage as a parallel job; locally it
+#                       runs inline, re-running the suite under pytest-cov
+#                       when installed), printing which gate failed
+#   make nightly      - the full benchmark suite + reports the nightly workflow runs
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench bench-report bench-check docs-check ci
+CI_GATES := lint test docs-check coverage bench-smoke bench-check
+
+.PHONY: test lint coverage bench-smoke bench bench-report bench-check docs-check ci nightly
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,8 +28,11 @@ test:
 lint:
 	$(PYTHON) tools/lint.py
 
+coverage:
+	$(PYTHON) tools/coverage_gate.py
+
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_backend_csr.py benchmarks/bench_engine_parallel.py -q -p no:cacheprovider
+	$(PYTHON) -m pytest benchmarks/bench_backend_csr.py benchmarks/bench_engine_parallel.py benchmarks/bench_updates_incremental.py -q -p no:cacheprovider
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q -p no:cacheprovider
@@ -35,4 +46,13 @@ bench-check:
 docs-check:
 	$(PYTHON) tools/docs_check.py
 
-ci: lint test docs-check bench-smoke bench-check
+# Run every CI gate in sequence and name the one that failed: a red
+# `make ci` must say *which* gate broke, not just exit 2.
+ci:
+	@set -e; for gate in $(CI_GATES); do \
+		echo "==> make $$gate"; \
+		$(MAKE) --no-print-directory $$gate || { echo "CI GATE FAILED: $$gate"; exit 1; }; \
+	done; echo "all CI gates passed: $(CI_GATES)"
+
+nightly: bench bench-report
+	$(PYTHON) tools/bench_trajectory.py

@@ -18,6 +18,13 @@ Subcommands
     cache behaviour, plus accuracy against the exact oracle for sampled
     *reachability* workloads (pattern workloads skip the exact matchers —
     running them would dwarf the batch being measured).
+``update``
+    Replay a generated delta stream through ``QueryEngine.update``,
+    interleaving query batches, and report update throughput (ops/s),
+    per-delta staleness (the window between a delta arriving and the engine
+    serving the updated graph), patch/rebuild/compaction counts and cache
+    retention; ``--verify`` additionally checks every batch against a
+    freshly prepared engine (the rebuild-equivalence contract).
 """
 
 from __future__ import annotations
@@ -107,6 +114,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also run the serial path and report parity plus speedup",
     )
     batch_parser.add_argument("--output", type=Path, default=None, help="write a JSON report here")
+
+    update_parser = subparsers.add_parser(
+        "update",
+        help="replay a delta stream through the engine and report update throughput",
+    )
+    update_parser.add_argument("--dataset", default="youtube-small", help="dataset the engine serves")
+    update_parser.add_argument("--alpha", type=float, default=0.05, help="resource ratio α")
+    update_parser.add_argument("--batches", type=int, default=10, help="number of delta batches")
+    update_parser.add_argument("--ops", type=int, default=50, help="mutations per delta batch")
+    update_parser.add_argument(
+        "--mix",
+        choices=["growth", "uniform"],
+        default="growth",
+        help="churn pattern: growth (attachment churn) or uniform (random rewiring)",
+    )
+    update_parser.add_argument(
+        "--queries", type=int, default=100, help="reachability queries answered between deltas"
+    )
+    update_parser.add_argument(
+        "--executor", choices=["serial", "thread", "process"], default="serial"
+    )
+    update_parser.add_argument("--workers", type=int, default=None, help="worker count for parallel executors")
+    update_parser.add_argument("--seed", type=int, default=0)
+    update_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="after every delta, compare answers against a freshly prepared engine",
+    )
+    update_parser.add_argument("--output", type=Path, default=None, help="write a JSON report here")
     return parser
 
 
@@ -294,6 +330,93 @@ def _command_batch(args) -> int:
     return exit_code
 
 
+def _command_update(args) -> int:
+    from repro.engine import QueryEngine, ReachQuery
+    from repro.workloads.deltas import generate_delta_stream
+    from repro.workloads.queries import sample_mixed_pairs
+
+    graph = load_dataset(args.dataset, seed=args.seed)
+    stream = generate_delta_stream(
+        graph, batches=args.batches, ops_per_batch=args.ops, mix=args.mix, seed=args.seed
+    )
+    pairs = sample_mixed_pairs(graph, args.queries, seed=args.seed)
+    queries = [ReachQuery(source, target) for source, target in pairs]
+
+    engine = QueryEngine(graph)
+    started = time.perf_counter()
+    engine.prepare(reach_alphas=[args.alpha])
+    prepare_seconds = time.perf_counter() - started
+    print(
+        f"update: dataset={args.dataset} |V|={graph.num_nodes()} |E|={graph.num_edges()} "
+        f"alpha={args.alpha} mix={args.mix} batches={len(stream)} ops/batch={args.ops}"
+    )
+    print(f"engine: backend={engine.backend} prepare={prepare_seconds:.3f}s (once, before the stream)")
+
+    engine.run_batch(queries, args.alpha, executor=args.executor, workers=args.workers)
+
+    modes: dict = {}
+    staleness: List[float] = []
+    compactions = 0
+    evicted = retained = 0
+    verify_failures = 0
+    for batch_number, delta in enumerate(stream, start=1):
+        report = engine.update(delta)
+        staleness.append(report.wall_seconds)
+        modes[report.mode] = modes.get(report.mode, 0) + 1
+        compactions += int(report.summary.compacted)
+        evicted += report.cache_evicted
+        retained = report.cache_retained
+        query_report = engine.run_batch(
+            queries, args.alpha, executor=args.executor, workers=args.workers
+        )
+        line = (
+            f"batch {batch_number}: ops={delta.size()} mode={report.mode} "
+            f"staleness={report.wall_seconds * 1000:.1f}ms "
+            f"updates/s={report.ops_per_second:.0f} "
+            f"queries/s={query_report.throughput:.0f} "
+            f"cache evicted={report.cache_evicted} retained={report.cache_retained}"
+        )
+        if args.verify:
+            fresh = QueryEngine(engine.prepared.graph, mirror="never", cache_size=0)
+            fresh_answers = fresh.answer_batch(queries, args.alpha)
+            identical = _answers_identical("reach", query_report.answers, fresh_answers)
+            line += f" verify={'ok' if identical else 'MISMATCH'}"
+            if not identical:
+                verify_failures += 1
+        print(line)
+
+    total_ops = stream.total_ops()
+    total_update_seconds = sum(staleness)
+    print(
+        f"stream: {total_ops} ops in {total_update_seconds:.3f}s "
+        f"({total_ops / total_update_seconds:.0f} ops/s) "
+        f"modes={modes} compactions={compactions} "
+        f"mean staleness={1000 * total_update_seconds / max(1, len(staleness)):.1f}ms"
+    )
+    if args.output is not None:
+        payload = {
+            "dataset": args.dataset,
+            "alpha": args.alpha,
+            "mix": args.mix,
+            "batches": len(stream),
+            "ops_per_batch": args.ops,
+            "total_ops": total_ops,
+            "prepare_seconds": prepare_seconds,
+            "update_seconds": total_update_seconds,
+            "updates_per_second": total_ops / total_update_seconds if total_update_seconds else 0.0,
+            "mean_staleness_ms": 1000 * total_update_seconds / max(1, len(staleness)),
+            "modes": modes,
+            "compactions": compactions,
+            "cache_evicted_total": evicted,
+            "cache_retained_final": retained,
+            "verified": bool(args.verify),
+            "verify_failures": verify_failures,
+        }
+        args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"(report written to {args.output})")
+    return 1 if verify_failures else 0
+
+
 def _answers_identical(kind: str, left, right) -> bool:
     """Compare two answer lists field-by-field (the parity contract)."""
     if kind == "reach":
@@ -346,6 +469,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "batch":
         return _command_batch(args)
+    if args.command == "update":
+        return _command_update(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

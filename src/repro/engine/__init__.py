@@ -18,10 +18,16 @@ The parity contract — identical answers for every executor and worker
 count — is property-tested in ``tests/test_engine.py`` and the ≥2×
 batch-throughput claim is asserted by
 ``benchmarks/bench_engine_parallel.py``.
+
+Graphs mutate under traffic: ``QueryEngine.update`` absorbs a
+:class:`~repro.updates.GraphDelta` by patching the prepared state
+incrementally (overlay substrate, condensation and index repair, surgical
+cache invalidation), with answers bit-identical to a fresh engine on the
+mutated graph — see :mod:`repro.updates` and ``tests/test_updates.py``.
 """
 
 from repro.engine.cache import AnswerCache, CacheStats
-from repro.engine.engine import BatchReport, QueryEngine, default_workers
+from repro.engine.engine import BatchReport, QueryEngine, UpdateReport, default_workers
 from repro.engine.executors import (
     EXECUTORS,
     ProcessExecutor,
@@ -29,7 +35,7 @@ from repro.engine.executors import (
     ThreadExecutor,
     make_executor,
 )
-from repro.engine.prepared import PreparedGraph
+from repro.engine.prepared import PreparedGraph, UpdateSummary
 from repro.engine.queries import PatternQuery, ReachQuery
 
 __all__ = [
@@ -44,6 +50,8 @@ __all__ = [
     "ReachQuery",
     "SerialExecutor",
     "ThreadExecutor",
+    "UpdateReport",
+    "UpdateSummary",
     "default_workers",
     "make_executor",
 ]

@@ -13,7 +13,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 CacheKey = Tuple[str, float]
 
@@ -71,16 +71,36 @@ class AnswerCache:
             self._hits += 1
             return True, value
 
-    def put(self, fingerprint: str, alpha: float, answer: Any) -> None:
-        """Insert (or refresh) an answer, evicting the least recently used."""
+    def put(self, fingerprint: str, alpha: float, answer: Any) -> List[CacheKey]:
+        """Insert (or refresh) an answer, evicting the least recently used.
+
+        Returns the keys evicted by the capacity bound so callers keeping
+        side tables (the engine's invalidation anchors) can stay in sync.
+        """
         if self._capacity <= 0:
-            return
+            return []
         key = (fingerprint, alpha)
+        evicted: List[CacheKey] = []
         with self._lock:
             self._entries[key] = answer
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
+                evicted.append(self._entries.popitem(last=False)[0])
+        return evicted
+
+    def keys(self) -> List[CacheKey]:
+        """A snapshot of the cached keys (LRU order, oldest first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def invalidate(self, keys: Iterable[CacheKey]) -> int:
+        """Drop specific entries (hit/miss counters untouched); returns count."""
+        dropped = 0
+        with self._lock:
+            for key in keys:
+                if self._entries.pop(key, None) is not None:
+                    dropped += 1
+        return dropped
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""

@@ -23,14 +23,20 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.engine.cache import AnswerCache, CacheStats
+from repro.engine.cache import AnswerCache, CacheKey, CacheStats
 from repro.engine.executors import Task, default_workers, make_executor
-from repro.engine.prepared import PreparedGraph
-from repro.engine.queries import PatternQuery, ReachQuery, SIMULATION, SUBGRAPH
+from repro.engine.prepared import (
+    DEFAULT_COMPACT_THRESHOLD,
+    DEFAULT_PATCH_THRESHOLD,
+    PreparedGraph,
+    UpdateSummary,
+)
+from repro.engine.queries import PatternQuery, ReachQuery, REACH, SIMULATION, SUBGRAPH
 from repro.exceptions import EngineError
 from repro.graph.digraph import NodeId
 from repro.graph.protocol import GraphLike
 from repro.patterns.pattern import GraphPattern
+from repro.updates.delta import GraphDelta
 
 EngineQuery = Union[ReachQuery, PatternQuery]
 
@@ -65,6 +71,28 @@ def _chunk(items: Sequence[Any], size: int) -> List[Sequence[Any]]:
     return [items[start : start + size] for start in range(0, len(items), size)]
 
 
+@dataclass
+class UpdateReport:
+    """Telemetry of one ``QueryEngine.update`` call."""
+
+    summary: UpdateSummary
+    cache_evicted: int = 0
+    cache_retained: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def mode(self) -> str:
+        """``noop`` / ``fresh`` / ``patched`` / ``rebuilt`` (see ``UpdateSummary``)."""
+        return self.summary.mode
+
+    @property
+    def ops_per_second(self) -> float:
+        """Delta operations absorbed per second of wall time."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.summary.delta_ops / self.wall_seconds
+
+
 class QueryEngine:
     """Batched query answering over one prepared graph.
 
@@ -91,6 +119,10 @@ class QueryEngine:
     ):
         self._prepared = PreparedGraph(graph, mirror=mirror, compressed=compressed)
         self._cache = AnswerCache(cache_size)
+        # Invalidation anchors: cache key → what part of the graph the query
+        # touches, so updates can evict surgically (see :meth:`update`).
+        self._anchors: Dict[CacheKey, Tuple[Any, ...]] = {}
+        self._pattern_guard_max_degree: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -117,6 +149,19 @@ class QueryEngine:
     def clear_cache(self) -> None:
         """Drop every cached answer (counters reset too)."""
         self._cache.clear()
+        self._anchors.clear()
+
+    @staticmethod
+    def _anchor_of(query: EngineQuery) -> Tuple[Any, ...]:
+        """What part of the graph a cached answer depends on.
+
+        Reachability answers anchor on their endpoints; pattern answers on
+        the personalized match plus a ball-radius upper bound (``|Vp|`` ≥
+        the pattern diameter RBSim explores).
+        """
+        if query.kind == REACH:
+            return (REACH, query.source, query.target)
+        return ("pattern", query.personalized_match, query.pattern.shape()[0])
 
     # ------------------------------------------------------------------ #
     # Preparation
@@ -144,6 +189,148 @@ class QueryEngine:
     def index_build_seconds(self, alpha: float) -> float:
         """Wall-clock cost of the α landmark index build (0.0 if unbuilt)."""
         return self._prepared.index_build_seconds(alpha)
+
+    # ------------------------------------------------------------------ #
+    # Incremental updates
+    # ------------------------------------------------------------------ #
+    def update(
+        self,
+        delta: GraphDelta,
+        patch_threshold: float = DEFAULT_PATCH_THRESHOLD,
+        compact_threshold: float = DEFAULT_COMPACT_THRESHOLD,
+    ) -> UpdateReport:
+        """Absorb a :class:`GraphDelta` into the serving state.
+
+        The prepared state is patched incrementally (or rebuilt lazily when
+        the delta is too large to patch profitably — above
+        ``patch_threshold·|G|`` ops — or removes nodes); either way,
+        subsequent answers are bit-identical to a fresh engine prepared on
+        the updated graph, for every executor and worker count.  Executors
+        need no special handling: worker pools live for a single batch and
+        receive the prepared state at dispatch, so a batch issued after
+        ``update`` returns always sees the updated state.
+
+        The answer cache is invalidated surgically: entries whose query
+        touches the mutated region (delta endpoints, changed components,
+        pattern balls overlapping the delta) are evicted; the rest are kept
+        only when the repaired state is provably answer-identical for them
+        (identical α index and ranks for reachability; unchanged size, max
+        degree and ball for patterns) and flushed otherwise.
+
+        Do not call concurrently with ``run_batch`` on another thread —
+        the engine serialises preparation and answering per instance.
+        """
+        started = time.perf_counter()
+        try:
+            summary = self._prepared.apply_delta(
+                delta, patch_threshold=patch_threshold, compact_threshold=compact_threshold
+            )
+        except Exception:
+            # The failing op's prefix is already on the substrate; the
+            # prepared state was dropped for lazy rebuild, and the cached
+            # answers must go with it or they would keep serving the
+            # pre-delta graph.
+            self.clear_cache()
+            self._pattern_guard_max_degree = None
+            raise
+        report = UpdateReport(summary=summary)
+        if summary.mode == "noop":
+            report.cache_retained = len(self._cache)
+            report.wall_seconds = time.perf_counter() - started
+            return report
+        if summary.mode == "rebuilt":
+            report.cache_evicted = len(self._cache)
+            self.clear_cache()
+            self._pattern_guard_max_degree = None
+            report.wall_seconds = time.perf_counter() - started
+            return report
+
+        touched = summary.touched_nodes | summary.membership_dirty
+        to_evict: List[CacheKey] = []
+        pattern_keys: List[Tuple[CacheKey, Any, int]] = []
+        for key in self._cache.keys():
+            anchor = self._anchors.get(key)
+            if anchor is None:  # pragma: no cover - anchors track every put
+                to_evict.append(key)
+            elif anchor[0] == REACH:
+                _, source, target = anchor
+                if (
+                    not summary.reach_alphas_preserved.get(key[1], False)
+                    or source in touched
+                    or target in touched
+                ):
+                    to_evict.append(key)
+            else:
+                pattern_keys.append((key, anchor[1], anchor[2]))
+
+        if pattern_keys:
+            to_evict.extend(self._stale_pattern_keys(pattern_keys, summary, touched))
+
+        report.cache_evicted = self._cache.invalidate(to_evict)
+        for key in to_evict:
+            self._anchors.pop(key, None)
+        report.cache_retained = len(self._cache)
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def _stale_pattern_keys(
+        self,
+        pattern_keys: List[Tuple[CacheKey, Any, int]],
+        summary: UpdateSummary,
+        touched,
+    ) -> List[CacheKey]:
+        """Pattern entries an update may have invalidated.
+
+        Pattern answers depend on the global budget (``α·|G|``), the visit
+        coefficient (max degree) and the ball around the personalized match;
+        an entry survives only when all three are provably unchanged.
+        """
+        guard = self._pattern_guard_max_degree
+        if summary.size_changed or guard is None:
+            self._pattern_guard_max_degree = None
+            return [key for key, _, _ in pattern_keys]
+        # Only the delta's touched nodes changed degree, so the global max
+        # moved only if a touched node now exceeds the guard or a touched
+        # node *at* the guard shrank (it may have been the unique holder).
+        # This keeps the common update free of a full-graph degree scan.
+        after = summary.touched_degrees_after
+        before = summary.touched_degrees_before
+        if max(after.values(), default=0) > guard:
+            self._pattern_guard_max_degree = None
+            return [key for key, _, _ in pattern_keys]
+        if any(
+            degree == guard and after.get(node, 0) < guard
+            for node, degree in before.items()
+        ):
+            if self._prepared.max_degree() != guard:
+                self._pattern_guard_max_degree = None
+                return [key for key, _, _ in pattern_keys]
+        max_radius = max(radius for _, _, radius in pattern_keys)
+        hops = self._hops_from(touched, max_radius)
+        return [
+            key
+            for key, match, radius in pattern_keys
+            if hops.get(match, max_radius + 1) <= radius
+        ]
+
+    def _hops_from(self, sources, max_hops: int) -> Dict[NodeId, int]:
+        """Undirected hop distance from any source, up to ``max_hops``."""
+        graph = self._prepared.graph
+        distances: Dict[NodeId, int] = {}
+        frontier = [node for node in sources if node in graph]
+        for node in frontier:
+            distances[node] = 0
+        depth = 0
+        while frontier and depth < max_hops:
+            depth += 1
+            next_frontier: List[NodeId] = []
+            for node in frontier:
+                for neighbor in graph.neighbors(node):
+                    if neighbor not in distances:
+                        distances[neighbor] = depth
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return distances
 
     # ------------------------------------------------------------------ #
     # Batch answering
@@ -236,7 +423,15 @@ class QueryEngine:
             for position, fingerprint, answer in zip(positions, fingerprints, results):
                 answers[position] = answer
                 if caching:
-                    self._cache.put(fingerprint, alpha, answer)
+                    for stale in self._cache.put(fingerprint, alpha, answer):
+                        self._anchors.pop(stale, None)
+                    anchor = self._anchor_of(queries[position])
+                    self._anchors[(fingerprint, alpha)] = anchor
+                    if anchor[0] != REACH and self._pattern_guard_max_degree is None:
+                        # Pattern retention across updates needs the visit
+                        # coefficient (max degree) the answer was computed
+                        # under; snapshot it with the first cached pattern.
+                        self._pattern_guard_max_degree = self._prepared.max_degree()
 
         wall = probe_seconds + (time.perf_counter() - started)
         return BatchReport(
@@ -292,4 +487,4 @@ class QueryEngine:
         return self.answer_batch(batch, alpha, executor=executor, workers=workers)
 
 
-__all__ = ["BatchReport", "QueryEngine", "default_workers"]
+__all__ = ["BatchReport", "QueryEngine", "UpdateReport", "default_workers"]

@@ -15,18 +15,59 @@ copy-on-write and never serialised at all.
 from __future__ import annotations
 
 import time
-from typing import Dict, Mapping, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Set
 
 from repro.core.rbsim import RBSim, RBSimConfig
 from repro.core.rbsub import RBSub, RBSubConfig
 from repro.exceptions import EngineError
-from repro.graph.digraph import DiGraph
+from repro.graph.digraph import DiGraph, NodeId
 from repro.graph.neighborhood import NeighborhoodIndex
 from repro.graph.protocol import GraphLike
 from repro.graph.statistics import summarize_for_report
 from repro.reachability.compression import CompressedGraph, compress
 from repro.reachability.hierarchy import HierarchicalLandmarkIndex, build_index
 from repro.reachability.rbreach import RBReach
+from repro.updates.delta import AppliedDelta, GraphDelta
+from repro.updates.overlay import MutableOverlay
+
+DEFAULT_PATCH_THRESHOLD = 0.05
+"""Deltas above this fraction of ``|G|`` skip patching (rebuild wins)."""
+
+DEFAULT_COMPACT_THRESHOLD = 0.25
+"""Overlay churn fraction beyond which the overlay folds into a fresh CSR."""
+
+
+@dataclass
+class UpdateSummary:
+    """What one ``apply_delta`` call did to the prepared state.
+
+    ``mode`` is ``"noop"`` (delta had no effect), ``"fresh"`` (no derived
+    state existed yet — substrate updated, nothing to patch), ``"patched"``
+    (condensation and indexes repaired in place) or ``"rebuilt"`` (derived
+    state dropped, lazily rebuilt from scratch).  The cache-invalidation
+    fields say which cached answers provably survived: see
+    ``QueryEngine.update``.
+    """
+
+    mode: str
+    seconds: float = 0.0
+    delta_ops: int = 0
+    touched_nodes: Set[NodeId] = field(default_factory=set)
+    compacted: bool = False
+    size_changed: bool = False
+    #: Per prepared α: the repaired index (plus ranks) is answer-identical
+    #: to the pre-update one, so untouched cached answers are still exact.
+    reach_alphas_preserved: Dict[float, bool] = field(default_factory=dict)
+    #: Original nodes whose condensed component changed (merges/splits).
+    membership_dirty: Set[NodeId] = field(default_factory=set)
+    #: Nodes whose neighbourhood summary was evicted.
+    summaries_evicted: int = 0
+    #: Degrees of the delta's touched nodes before/after the update — the
+    #: only degrees that can move, so the engine's pattern-cache guard can
+    #: detect max-degree changes without a full-graph scan.
+    touched_degrees_before: Dict[NodeId, int] = field(default_factory=dict)
+    touched_degrees_after: Dict[NodeId, int] = field(default_factory=dict)
 
 
 def _freeze(graph: GraphLike, mirror: str) -> GraphLike:
@@ -88,6 +129,8 @@ class PreparedGraph:
         self._neighborhood_precomputed = False
         self._rbsim: Dict[float, RBSim] = {}
         self._rbsub: Dict[float, RBSub] = {}
+        self._maintainer = None  # CondensationMaintainer, built on first patch
+        self._max_degree_cache: Optional[int] = None
 
     @property
     def backend(self) -> str:
@@ -101,6 +144,18 @@ class PreparedGraph:
             self._statistics = summarize_for_report(self.graph, "prepared")
         return self._statistics
 
+    def max_degree(self) -> int:
+        """``d_G`` of the serving graph, scanned once and then maintained.
+
+        ``apply_delta`` keeps the cached value current from the touched
+        nodes' degree changes (the only degrees a delta can move), so
+        repeated callers — the engine's pattern-cache guard — avoid paying
+        a full-graph scan per update.
+        """
+        if self._max_degree_cache is None:
+            self._max_degree_cache = self.graph.max_degree()
+        return self._max_degree_cache
+
     # ------------------------------------------------------------------ #
     # Reachability state
     # ------------------------------------------------------------------ #
@@ -109,6 +164,18 @@ class PreparedGraph:
         if self._compressed is None:
             started = time.perf_counter()
             self._compressed = compress(self.graph)
+            if self._compressed.dag_csr is None and isinstance(self.graph, MutableOverlay):
+                # Serving on an overlay (post-update): give the DAG the same
+                # vectorised mirror a CSR substrate would have.  The mirror
+                # only feeds order-insensitive kernels, so answers are
+                # unchanged; the paper-figure paths (mirror="never" on a
+                # DiGraph) are left alone so their timings stay comparable.
+                try:
+                    from repro.graph.csr import CSRGraph
+
+                    self._compressed.dag_csr = CSRGraph.from_graph_unordered(self._compressed.dag)
+                except ImportError:  # pragma: no cover - numpy normally present
+                    pass
             self._compress_seconds = time.perf_counter() - started
         return self._compressed
 
@@ -195,3 +262,164 @@ class PreparedGraph:
         if eager and not self._neighborhood_precomputed:
             self.neighborhood_index().precompute()
             self._neighborhood_precomputed = True
+
+    # ------------------------------------------------------------------ #
+    # Incremental updates
+    # ------------------------------------------------------------------ #
+    def apply_delta(
+        self,
+        delta: GraphDelta,
+        patch_threshold: float = DEFAULT_PATCH_THRESHOLD,
+        compact_threshold: float = DEFAULT_COMPACT_THRESHOLD,
+    ) -> UpdateSummary:
+        """Absorb a :class:`GraphDelta` into the prepared state.
+
+        The substrate always updates in O(|delta|) via a
+        :class:`MutableOverlay`; the derived state (condensation, per-α
+        landmark indexes, neighbourhood summaries, statistics) is *patched*
+        when the delta is small and free of node removals, and otherwise
+        dropped for lazy rebuild.  Either way the post-update answers are
+        bit-identical to a :class:`PreparedGraph` freshly built on the
+        updated substrate — the rebuild-equivalence contract.
+
+        If an op in the delta is invalid (removing a missing edge, ...), the
+        error propagates after the already-applied prefix is made consistent
+        by dropping all derived state.
+        """
+        started = time.perf_counter()
+        if not isinstance(self.graph, MutableOverlay):
+            self._rebind_substrate(MutableOverlay(self.graph))
+        overlay: MutableOverlay = self.graph
+        pre_size = overlay.size()
+
+        # The maintainer's edge multiplicities must be bootstrapped from the
+        # *pre-delta* graph, so build it before mutating the substrate.
+        may_patch = (
+            self._compressed is not None
+            and not delta.has_node_removals()
+            and delta.size() <= patch_threshold * max(1, pre_size)
+        )
+        if may_patch and self._maintainer is None:
+            from repro.updates.scc import CondensationMaintainer
+
+            self._maintainer = CondensationMaintainer.from_fresh(
+                overlay, self._compressed.condensation
+            )
+
+        delta_touched = delta.touched_nodes()
+        degrees_before = {
+            node: overlay.degree(node) for node in delta_touched if node in overlay
+        }
+
+        record = AppliedDelta()
+        try:
+            overlay.apply(delta, applied=record)
+        except Exception:
+            self._invalidate_derived()
+            raise
+
+        summary = UpdateSummary(mode="noop", delta_ops=delta.size())
+        if record.is_empty():
+            summary.seconds = time.perf_counter() - started
+            return summary
+        summary.touched_nodes = record.touched_nodes()
+        summary.size_changed = overlay.size() != pre_size
+        summary.touched_degrees_before = degrees_before
+        summary.touched_degrees_after = {
+            node: overlay.degree(node) for node in delta_touched if node in overlay
+        }
+        if self._max_degree_cache is not None:
+            cached = self._max_degree_cache
+            grown = max(summary.touched_degrees_after.values(), default=0)
+            if any(
+                degree == cached and summary.touched_degrees_after.get(node, 0) < cached
+                for node, degree in degrees_before.items()
+            ):
+                # A node at the cached maximum shrank; it may have been the
+                # unique holder, so the cache must be re-derived lazily.
+                self._max_degree_cache = None
+            elif grown > cached:
+                self._max_degree_cache = grown
+
+        if self._compressed is None:
+            summary.mode = "fresh"
+        else:
+            patch = None
+            if may_patch and self._maintainer is not None:
+                patch = self._maintainer.apply(overlay, record)
+            if patch is None:
+                self._invalidate_derived()
+                summary.mode = "rebuilt"
+            else:
+                summary.mode = "patched"
+                self._patch_reachability(patch, summary)
+
+        # Pattern-side state: matchers cache α·|G| budgets and max-degree
+        # coefficients, so they are always rebuilt lazily; the expensive
+        # shared summaries survive minus the touched neighbourhoods.
+        self._rbsim = {}
+        self._rbsub = {}
+        self._statistics = None
+        if self._neighborhood is not None:
+            summary.summaries_evicted = self._neighborhood.invalidate(record.summary_dirty)
+            if summary.summaries_evicted:
+                self._neighborhood_precomputed = False
+
+        if overlay.fraction() > compact_threshold:
+            self._rebind_substrate(overlay.compact())
+            summary.compacted = True
+
+        summary.seconds = time.perf_counter() - started
+        return summary
+
+    def _patch_reachability(self, patch, summary: UpdateSummary) -> None:
+        """Swap in the patched condensation and repair every built α index."""
+        from repro.updates.index_repair import index_equivalent, repair_index
+
+        dag_csr = self._maintainer.dag_mirror() if self._maintainer is not None else None
+        new_compressed = CompressedGraph(
+            original=self.graph,
+            condensation=patch.condensation,
+            ranks=patch.rank_index,
+            dag_csr=dag_csr,
+        )
+        self._compressed = new_compressed
+        members = patch.condensation.members
+        for component in patch.changed_components:
+            summary.membership_dirty |= members[component]
+
+        old_indexes = self._indexes
+        self._indexes = {}
+        self._rbreach = {}
+        reference_size = self.graph.size()
+        for alpha, old_index in old_indexes.items():
+            repaired = repair_index(old_index, new_compressed, patch, reference_size)
+            self._indexes[alpha] = repaired
+            summary.reach_alphas_preserved[alpha] = not patch.ranks_changed and index_equivalent(
+                old_index, repaired
+            )
+
+    def _rebind_substrate(self, graph: GraphLike) -> None:
+        """Swap the serving substrate, keeping content-derived state valid."""
+        self.graph = graph
+        if self._compressed is not None:
+            self._compressed.original = graph
+        if self._neighborhood is not None:
+            self._neighborhood.rebind(graph)
+        # Matchers hold direct substrate references; rebuild them lazily.
+        self._rbsim = {}
+        self._rbsub = {}
+        self._rbreach = {}
+
+    def _invalidate_derived(self) -> None:
+        """Drop every derived structure; all of it rebuilds lazily."""
+        self._compressed = None
+        self._compress_seconds = 0.0
+        self._indexes = {}
+        self._index_build_seconds = {}
+        self._rbreach = {}
+        self._rbsim = {}
+        self._rbsub = {}
+        self._statistics = None
+        self._maintainer = None
+        self._max_degree_cache = None

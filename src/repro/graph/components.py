@@ -14,7 +14,7 @@ Tarjan's algorithm is implemented iteratively to cope with deep graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.exceptions import NodeNotFoundError
 from repro.graph.digraph import DiGraph, NodeId
@@ -26,12 +26,18 @@ except ImportError:  # pragma: no cover - numpy is normally available
     _CSRGraph = None
 
 
-def strongly_connected_components(graph: GraphLike) -> List[Set[NodeId]]:
+def strongly_connected_components(
+    graph: GraphLike, restrict: Optional[Set[NodeId]] = None
+) -> List[Set[NodeId]]:
     """Return the strongly connected components of ``graph``.
 
     Uses an iterative Tarjan algorithm; components are returned in reverse
     topological order of the condensation (i.e. a component appears after all
     components it can reach), which is a convenient order for DP over DAGs.
+
+    With ``restrict`` the traversal runs on the subgraph induced by that
+    node set — the incremental condensation maintenance uses this to re-run
+    Tarjan over just one affected component's members.
     """
     index_counter = 0
     indices: Dict[NodeId, int] = {}
@@ -40,7 +46,12 @@ def strongly_connected_components(graph: GraphLike) -> List[Set[NodeId]]:
     stack: List[NodeId] = []
     components: List[Set[NodeId]] = []
 
-    if _CSRGraph is not None and isinstance(graph, _CSRGraph):
+    if restrict is not None:
+
+        def successors_of(node: NodeId) -> List[NodeId]:
+            return [child for child in graph.successors(node) if child in restrict]
+
+    elif _CSRGraph is not None and isinstance(graph, _CSRGraph):
         # CSR backend: one bulk adjacency export instead of a per-node view.
         # The export preserves neighbour order, so the traversal (and hence
         # the component emission order) is identical to the generic path.
@@ -54,7 +65,7 @@ def strongly_connected_components(graph: GraphLike) -> List[Set[NodeId]]:
         def successors_of(node: NodeId) -> List[NodeId]:
             return list(graph.successors(node))
 
-    for root in graph.nodes():
+    for root in (graph.nodes() if restrict is None else restrict):
         if root in indices:
             continue
         # Each work item is (node, iterator over successors).
@@ -113,12 +124,20 @@ class Condensation:
     ----------
     dag:
         The condensed graph.  Each node is an integer component id; its label
-        is the label of an arbitrary member of the component (labels play no
-        role in reachability).
+        is the label of the component's canonical representative (labels play
+        no role in reachability).
     membership:
         Maps every original node to its component id.
     members:
         Maps every component id to the set of original nodes it contains.
+
+    Component ids are *canonical*: the id of a component is the position (in
+    the graph's node iteration order) of its earliest member, and the DAG's
+    adjacency is built in sorted id order.  Canonical ids are a function of
+    the partition and the node order alone — not of the traversal that
+    discovered the partition — which is what lets the incremental maintenance
+    in ``repro.updates`` patch a condensation and land on exactly the ids a
+    fresh :func:`condensation` call would assign.
     """
 
     dag: DiGraph
@@ -148,18 +167,28 @@ def condensation(graph: GraphLike) -> Condensation:
     returned DAG (with equality counting as reachable).
     """
     components = strongly_connected_components(graph)
+    position = {node: index for index, node in enumerate(graph.nodes())}
     membership: Dict[NodeId, int] = {}
     members: Dict[int, Set[NodeId]] = {}
-    dag = DiGraph()
-    for component_id, component in enumerate(components):
+    representatives: Dict[int, NodeId] = {}
+    for component in components:
+        representative = min(component, key=position.__getitem__)
+        component_id = position[representative]
         members[component_id] = component
-        representative = next(iter(component))
-        dag.add_node(component_id, graph.label(representative))
+        representatives[component_id] = representative
         for node in component:
             membership[node] = component_id
+    dag = DiGraph()
+    for component_id in sorted(members):
+        dag.add_node(component_id, graph.label(representatives[component_id]))
+    dag_edges: Set[Tuple[int, int]] = set()
     for source, target in graph.edges():
         source_id = membership[source]
         target_id = membership[target]
         if source_id != target_id:
-            dag.add_edge(source_id, target_id)
+            dag_edges.add((source_id, target_id))
+    # Sorted insertion gives every DAG node a sorted (hence canonical)
+    # neighbour iteration order on the insertion-ordered DiGraph.
+    for source_id, target_id in sorted(dag_edges):
+        dag.add_edge(source_id, target_id)
     return Condensation(dag=dag, membership=membership, members=members)

@@ -29,8 +29,10 @@ Two properties keep the backend drop-in compatible with
   order-insensitive results (sets, distance maps, booleans), which is what
   makes backend parity testable rather than approximate.
 
-``CSRGraph`` is deliberately immutable: updates belong on ``DiGraph``;
-freeze a snapshot with ``from_digraph`` when switching to query answering.
+``CSRGraph`` is deliberately immutable: updates land either on ``DiGraph``
+(freeze a snapshot with ``from_digraph`` when switching to query answering)
+or, for a *serving* graph that must keep absorbing mutations, on a
+:class:`repro.updates.overlay.MutableOverlay` layered over a frozen base.
 """
 
 from __future__ import annotations
@@ -224,6 +226,82 @@ class CSRGraph:
             np.cumsum(np.bincount(succ_indices, minlength=n), out=pred_indptr[1:])
 
         degrees = _union_degrees(n, edge_sources, succ_indices)
+        return cls(
+            ids,
+            label_table,
+            label_ids,
+            succ_indptr,
+            succ_indices,
+            pred_indptr,
+            pred_indices,
+            degrees,
+        )
+
+    @classmethod
+    def from_graph_unordered(cls, graph) -> "CSRGraph":
+        """Freeze any :class:`GraphLike` into CSR form, ignoring neighbour order.
+
+        The per-node adjacency comes out sorted by internal index rather
+        than in the source's iteration order, with the heavy lifting done by
+        vectorised sorts — roughly an order of magnitude faster than
+        :meth:`from_digraph`.  Use it only for mirrors that feed the
+        order-insensitive kernels (reachability masks, cover statistics,
+        label sweeps); anything order-sensitive needs :meth:`from_digraph`.
+        """
+        ids = list(graph.nodes())
+        index = {node: i for i, node in enumerate(ids)}
+        n = len(ids)
+
+        label_table: List[Label] = []
+        label_index: Dict[Label, int] = {}
+        label_ids = np.empty(n, dtype=np.int64)
+        for i, node in enumerate(ids):
+            label = graph.label(node)
+            lid = label_index.get(label)
+            if lid is None:
+                lid = len(label_table)
+                label_index[label] = lid
+                label_table.append(label)
+            label_ids[i] = lid
+
+        sources_list: List[int] = []
+        targets_list: List[int] = []
+        for source, target in graph.edges():
+            sources_list.append(index[source])
+            targets_list.append(index[target])
+        m = len(sources_list)
+        sources = np.asarray(sources_list, dtype=np.int64) if m else _EMPTY.copy()
+        targets = np.asarray(targets_list, dtype=np.int64) if m else _EMPTY.copy()
+        return cls.from_index_arrays(ids, label_table, label_ids, sources, targets)
+
+    @classmethod
+    def from_index_arrays(
+        cls,
+        ids: List[NodeId],
+        label_table: List[Label],
+        label_ids: np.ndarray,
+        sources: np.ndarray,
+        targets: np.ndarray,
+    ) -> "CSRGraph":
+        """Assemble a CSR graph from edge arrays in internal index space.
+
+        ``sources[k] → targets[k]`` are the edges as node *indices* into
+        ``ids``.  Adjacency comes out grouped/sorted per node (vectorised
+        stable sorts), so the result is only suitable for order-insensitive
+        kernels — the shared backend of :meth:`from_graph_unordered` and the
+        incremental DAG mirror.
+        """
+        n = len(ids)
+        succ_order = np.argsort(sources, kind="stable")
+        succ_indices = targets[succ_order]
+        succ_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(sources, minlength=n), out=succ_indptr[1:])
+        pred_order = np.argsort(targets, kind="stable")
+        pred_indices = sources[pred_order]
+        pred_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(targets, minlength=n), out=pred_indptr[1:])
+
+        degrees = _union_degrees(n, sources, targets)
         return cls(
             ids,
             label_table,

@@ -10,11 +10,21 @@ which is what every algorithm in the reproduction relies on.
 The class is intentionally free of any query logic: neighbourhood extraction,
 traversal, components, statistics and generators live in sibling modules so
 that each algorithm only pulls in what it needs.
+
+Adjacency is stored in *insertion-ordered* dicts rather than sets: the
+neighbour iteration order of a graph is exactly the order its edges were
+added (re-adding an existing edge does not move it; removing and re-adding
+one moves it to the end, like any dict key).  Determinism of that order is
+what lets the incremental-update machinery (``repro.updates``) reproduce a
+freshly built graph bit-for-bit — an overlay that appends inserted edges
+behind the base adjacency iterates in the same order as a ``DiGraph`` that
+applied the same operations, so every order-sensitive heuristic downstream
+makes identical decisions on either substrate.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, KeysView, Mapping, Optional, Set, Tuple
 
 from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
 
@@ -37,8 +47,10 @@ class DiGraph:
 
     def __init__(self) -> None:
         self._labels: Dict[NodeId, Label] = {}
-        self._succ: Dict[NodeId, Set[NodeId]] = {}
-        self._pred: Dict[NodeId, Set[NodeId]] = {}
+        # Insertion-ordered adjacency: the inner dicts are used as ordered
+        # sets (values are always None); see the module docstring.
+        self._succ: Dict[NodeId, Dict[NodeId, None]] = {}
+        self._pred: Dict[NodeId, Dict[NodeId, None]] = {}
         self._edge_count: int = 0
 
     # ------------------------------------------------------------------ #
@@ -69,11 +81,11 @@ class DiGraph:
         return graph
 
     def copy(self) -> "DiGraph":
-        """Return a deep structural copy of this graph."""
+        """Return a deep structural copy of this graph (orders preserved)."""
         clone = DiGraph()
         clone._labels = dict(self._labels)
-        clone._succ = {node: set(succ) for node, succ in self._succ.items()}
-        clone._pred = {node: set(pred) for node, pred in self._pred.items()}
+        clone._succ = {node: dict(succ) for node, succ in self._succ.items()}
+        clone._pred = {node: dict(pred) for node, pred in self._pred.items()}
         clone._edge_count = self._edge_count
         return clone
 
@@ -83,8 +95,8 @@ class DiGraph:
     def add_node(self, node: NodeId, label: Label = "") -> None:
         """Add ``node`` with ``label``; relabels the node if it already exists."""
         if node not in self._labels:
-            self._succ[node] = set()
-            self._pred[node] = set()
+            self._succ[node] = {}
+            self._pred[node] = {}
         self._labels[node] = label
 
     def add_edge(self, source: NodeId, target: NodeId) -> bool:
@@ -99,8 +111,8 @@ class DiGraph:
             raise NodeNotFoundError(target)
         if target in self._succ[source]:
             return False
-        self._succ[source].add(target)
-        self._pred[target].add(source)
+        self._succ[source][target] = None
+        self._pred[target][source] = None
         self._edge_count += 1
         return True
 
@@ -108,8 +120,8 @@ class DiGraph:
         """Remove edge ``(source, target)``; raises if it does not exist."""
         if source not in self._labels or target not in self._succ.get(source, ()):
             raise EdgeNotFoundError(source, target)
-        self._succ[source].discard(target)
-        self._pred[target].discard(source)
+        del self._succ[source][target]
+        del self._pred[target][source]
         self._edge_count -= 1
 
     def remove_node(self, node: NodeId) -> None:
@@ -198,23 +210,31 @@ class DiGraph:
         """Whether the directed edge ``(source, target)`` exists."""
         return target in self._succ.get(source, ())
 
-    def successors(self, node: NodeId) -> Set[NodeId]:
-        """The children of ``node`` (targets of out-edges)."""
+    def successors(self, node: NodeId) -> KeysView[NodeId]:
+        """The children of ``node``, in edge-insertion order (set-like view)."""
         try:
-            return self._succ[node]
+            return self._succ[node].keys()
         except KeyError:
             raise NodeNotFoundError(node) from None
 
-    def predecessors(self, node: NodeId) -> Set[NodeId]:
-        """The parents of ``node`` (sources of in-edges)."""
+    def predecessors(self, node: NodeId) -> KeysView[NodeId]:
+        """The parents of ``node``, in edge-insertion order (set-like view)."""
         try:
-            return self._pred[node]
+            return self._pred[node].keys()
         except KeyError:
             raise NodeNotFoundError(node) from None
 
-    def neighbors(self, node: NodeId) -> Set[NodeId]:
-        """The 1-hop neighbourhood N(v): parents plus children."""
-        return self.successors(node) | self.predecessors(node)
+    def neighbors(self, node: NodeId) -> KeysView[NodeId]:
+        """The 1-hop neighbourhood N(v): children then unseen parents.
+
+        Deterministic order (successor insertion order followed by the
+        predecessors not already listed), unlike a set union — landmark
+        selection iterates this during its exclusion step, so the order is
+        answer-relevant for the incremental-update equivalence guarantees.
+        """
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        return {**self._succ[node], **self._pred[node]}.keys()
 
     def out_degree(self, node: NodeId) -> int:
         """Number of out-edges of ``node``."""

@@ -122,6 +122,29 @@ class NeighborhoodIndex:
         for node in self._graph.nodes():
             self.summary(node)
 
+    def invalidate(self, nodes) -> int:
+        """Evict the summaries of ``nodes``; returns how many were cached.
+
+        Incremental updates call this for every node whose 1-hop
+        neighbourhood changed — the evicted summaries rebuild lazily, every
+        other summary stays valid because it only describes untouched
+        adjacency.
+        """
+        evicted = 0
+        for node in nodes:
+            if self._summaries.pop(node, None) is not None:
+                evicted += 1
+        return evicted
+
+    def rebind(self, graph: GraphLike) -> None:
+        """Point the index at a new substrate carrying the same content.
+
+        Used when an overlay compacts into a fresh CSR snapshot: the graph
+        object changes, the graph *content* (hence every cached summary)
+        does not.
+        """
+        self._graph = graph
+
     def __len__(self) -> int:
         return len(self._summaries)
 

@@ -88,6 +88,28 @@ class TopologicalRankIndex:
         self._max_rank = max(self._ranks.values()) if self._ranks else 0
         self._max_degree = graph.max_degree()
 
+    @classmethod
+    def from_parts(
+        cls,
+        graph: DiGraph,
+        ranks: Dict[NodeId, int],
+        max_rank: int,
+        max_degree: int,
+    ) -> "TopologicalRankIndex":
+        """Assemble an index from already-known ranks (incremental updates).
+
+        ``repro.updates`` maintains ranks with a worklist instead of a full
+        Kahn pass; this constructor wraps the result without recomputing.
+        The caller vouches that ``ranks`` satisfies the defining recurrence
+        on ``graph`` (checked by :func:`verify_rank_invariant` in tests).
+        """
+        index = cls.__new__(cls)
+        index._graph = graph
+        index._ranks = ranks
+        index._max_rank = max_rank
+        index._max_degree = max_degree
+        return index
+
     @property
     def graph(self) -> DiGraph:
         """The DAG this index was built for."""

@@ -50,7 +50,15 @@ class LandmarkInfo:
 
 @dataclass
 class HierarchicalLandmarkIndex:
-    """The hierarchical landmark index ``I`` plus the out-of-index labels."""
+    """The hierarchical landmark index ``I`` plus the out-of-index labels.
+
+    ``cover_parts``, ``forward_reach`` and ``backward_reach`` retain the raw
+    per-landmark statistics (descendant/ancestor counts and the
+    landmark-to-landmark reachability sets) the assembly consumed.  They are
+    small — the landmark graph is sparse — and they are what lets the
+    incremental repair in ``repro.updates`` rebuild the index after a delta
+    while recomputing sweeps only for landmarks in the dirty region.
+    """
 
     compressed: CompressedGraph
     alpha: float
@@ -62,6 +70,10 @@ class HierarchicalLandmarkIndex:
     forward_labels: Dict[NodeId, Set[NodeId]] = field(default_factory=dict)
     backward_labels: Dict[NodeId, Set[NodeId]] = field(default_factory=dict)
     edge_count: int = 0
+    cover_parts: Dict[NodeId, Tuple[int, int]] = field(default_factory=dict)
+    forward_reach: Dict[NodeId, Set[NodeId]] = field(default_factory=dict)
+    backward_reach: Dict[NodeId, Set[NodeId]] = field(default_factory=dict)
+    label_cap: int = 0
 
     # ------------------------------------------------------------------ #
     # Size and structure
@@ -100,70 +112,90 @@ class HierarchicalLandmarkIndex:
         return self.landmarks[landmark]
 
 
+def sweep_landmark(
+    dag: GraphLike,
+    landmark: NodeId,
+    landmark_set: Set[NodeId],
+    forward: bool,
+    csr_dag: Optional[GraphLike] = None,
+    probe_mask=None,
+) -> Tuple[int, Set[NodeId]]:
+    """One directional sweep: reachable-node count plus reached landmarks.
+
+    The unit of work behind the cover statistics, exposed so the incremental
+    repair can recompute exactly the sweeps a delta dirtied.  With a CSR
+    mirror the sweep runs on the vectorised kernel; the result is exact
+    either way.  Callers issuing many sweeps can pass ``probe_mask`` (the
+    boolean landmark mask over ``csr_dag`` indices) to avoid rebuilding it
+    per sweep.
+    """
+    if csr_dag is not None and csr_dag.num_nodes() == dag.num_nodes():
+        import numpy as np
+
+        if probe_mask is None:
+            probe_mask = np.zeros(csr_dag.num_nodes(), dtype=bool)
+            probe_mask[[csr_dag.index_of(mark) for mark in landmark_set]] = True
+        count, hits = csr_dag.reach_stats(
+            csr_dag.index_of(landmark), forward=forward, probe_mask=probe_mask
+        )
+        return count, {csr_dag.node_at(i) for i in hits}
+    count = 0
+    reached: Set[NodeId] = set()
+    seen: Set[NodeId] = {landmark}
+    queue: deque = deque([landmark])
+    step = dag.successors if forward else dag.predecessors
+    while queue:
+        node = queue.popleft()
+        for neighbor in step(node):
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            count += 1
+            if neighbor in landmark_set:
+                reached.add(neighbor)
+            queue.append(neighbor)
+    return count, reached
+
+
 def _cover_statistics(
     dag: GraphLike,
     landmarks: List[NodeId],
     csr_dag: Optional[GraphLike] = None,
-) -> Tuple[Dict[NodeId, int], Dict[NodeId, Set[NodeId]], Dict[NodeId, Set[NodeId]]]:
+) -> Tuple[Dict[NodeId, Tuple[int, int]], Dict[NodeId, Set[NodeId]], Dict[NodeId, Set[NodeId]]]:
     """Descendant/ancestor counts and landmark-to-landmark reachability.
 
     One forward and one backward BFS per landmark over the DAG.  Returns
-    (cover sizes, forward landmark reach sets, backward landmark reach sets).
-    With a CSR mirror of the DAG the per-landmark sweeps run on the
-    vectorised reachability kernel; the resulting sets are exact, so the
-    outcome is identical to the generic traversal.
+    (per-landmark ``(descendants, ancestors)`` counts, forward landmark
+    reach sets, backward landmark reach sets).  With a CSR mirror of the DAG
+    the per-landmark sweeps run on the vectorised reachability kernel; the
+    resulting sets are exact, so the outcome is identical to the generic
+    traversal.
     """
     if csr_dag is not None and csr_dag.num_nodes() == dag.num_nodes():
         return _cover_statistics_csr(csr_dag, landmarks)
     landmark_set = set(landmarks)
-    cover: Dict[NodeId, int] = {}
+    parts: Dict[NodeId, Tuple[int, int]] = {}
     forward_reach: Dict[NodeId, Set[NodeId]] = {}
     backward_reach: Dict[NodeId, Set[NodeId]] = {}
     for landmark in landmarks:
-        descendants = 0
-        reached_landmarks: Set[NodeId] = set()
-        seen: Set[NodeId] = {landmark}
-        queue: deque = deque([landmark])
-        while queue:
-            node = queue.popleft()
-            for child in dag.successors(node):
-                if child in seen:
-                    continue
-                seen.add(child)
-                descendants += 1
-                if child in landmark_set:
-                    reached_landmarks.add(child)
-                queue.append(child)
-        ancestors = 0
-        reaching_landmarks: Set[NodeId] = set()
-        seen = {landmark}
-        queue = deque([landmark])
-        while queue:
-            node = queue.popleft()
-            for parent in dag.predecessors(node):
-                if parent in seen:
-                    continue
-                seen.add(parent)
-                ancestors += 1
-                if parent in landmark_set:
-                    reaching_landmarks.add(parent)
-                queue.append(parent)
-        cover[landmark] = (descendants + 1) * (ancestors + 1)
-        forward_reach[landmark] = reached_landmarks
-        backward_reach[landmark] = reaching_landmarks
-    return cover, forward_reach, backward_reach
+        descendants, reached = sweep_landmark(dag, landmark, landmark_set, forward=True)
+        ancestors, reaching = sweep_landmark(dag, landmark, landmark_set, forward=False)
+        parts[landmark] = (descendants, ancestors)
+        forward_reach[landmark] = reached
+        backward_reach[landmark] = reaching
+    return parts, forward_reach, backward_reach
 
 
 def _cover_statistics_csr(
     csr_dag: GraphLike, landmarks: List[NodeId]
-) -> Tuple[Dict[NodeId, int], Dict[NodeId, Set[NodeId]], Dict[NodeId, Set[NodeId]]]:
+) -> Tuple[Dict[NodeId, Tuple[int, int]], Dict[NodeId, Set[NodeId]], Dict[NodeId, Set[NodeId]]]:
     """Vectorised cover statistics over a CSR mirror of the DAG."""
     import numpy as np
 
     landmark_indices = [csr_dag.index_of(landmark) for landmark in landmarks]
     probe_mask = np.zeros(csr_dag.num_nodes(), dtype=bool)
     probe_mask[landmark_indices] = True
-    cover: Dict[NodeId, int] = {}
+    parts: Dict[NodeId, Tuple[int, int]] = {}
     forward_reach: Dict[NodeId, Set[NodeId]] = {}
     backward_reach: Dict[NodeId, Set[NodeId]] = {}
     for landmark, landmark_index in zip(landmarks, landmark_indices):
@@ -171,8 +203,8 @@ def _cover_statistics_csr(
         forward_reach[landmark] = {csr_dag.node_at(i) for i in hits}
         ancestors, hits = csr_dag.reach_stats(landmark_index, forward=False, probe_mask=probe_mask)
         backward_reach[landmark] = {csr_dag.node_at(i) for i in hits}
-        cover[landmark] = (descendants + 1) * (ancestors + 1)
-    return cover, forward_reach, backward_reach
+        parts[landmark] = (descendants, ancestors)
+    return parts, forward_reach, backward_reach
 
 
 def build_index(
@@ -215,27 +247,95 @@ def build_index(
     if dag.num_nodes() == 0:
         return index
 
+    leaves = select_leaves(compressed, alpha, size_budget)
+    if not leaves:
+        return index
+
+    cover_parts, forward_reach, backward_reach = _cover_statistics(
+        dag, leaves, csr_dag=compressed.dag_csr
+    )
+    assemble_index(
+        index,
+        leaves,
+        cover_parts,
+        forward_reach,
+        backward_reach,
+        max_parents_per_landmark=max_parents_per_landmark,
+        max_levels=max_levels,
+    )
+
+    # --- out-of-index labels v.E ------------------------------------------ #
+    landmark_set = set(leaves)
+    label_cap = max(1, size_budget // 2)
+    index.label_cap = label_cap
+    index.forward_labels, index.backward_labels = out_of_index_labels(
+        dag, landmark_set, max_labels=label_cap, csr_dag=compressed.dag_csr
+    )
+    return index
+
+
+def select_leaves(
+    compressed: CompressedGraph,
+    alpha: float,
+    size_budget: int,
+    ordered: Optional[List[NodeId]] = None,
+) -> List[NodeId]:
+    """The deterministic greedy leaf selection used by ``build_index``.
+
+    Exposed so the incremental repair path reruns *exactly* this selection
+    on the patched condensation — any divergence here would break the
+    rebuild-equivalence contract.  ``ordered`` optionally supplies the full
+    pre-sorted candidate order (the maintained one from
+    ``CondensationMaintainer``), skipping the key computation and sort —
+    same numbers, same selection either way.
+    """
+    dag = compressed.dag
     exclusion_radius = max(1, math.floor(2 / alpha)) if alpha < 1 else 1
     num_leaves = max(1, min(size_budget // 2, dag.num_nodes()))
-
+    if ordered is not None:
+        return greedy_landmarks(
+            dag, compressed.ranks, num_leaves, exclusion_radius, ordered=ordered
+        )
     # Weight the greedy score by SCC size: a component node stands for all of
     # its original members, so it covers proportionally more node pairs.
     component_sizes = {
         component: float(len(members)) for component, members in compressed.condensation.members.items()
     }
-    leaves = greedy_landmarks(
+    return greedy_landmarks(
         dag,
         compressed.ranks,
         num_leaves,
         exclusion_radius,
         weights=component_sizes,
     )
-    if not leaves:
-        return index
 
-    cover, forward_reach, backward_reach = _cover_statistics(
-        dag, leaves, csr_dag=compressed.dag_csr
-    )
+
+def assemble_index(
+    index: HierarchicalLandmarkIndex,
+    leaves: List[NodeId],
+    cover_parts: Dict[NodeId, Tuple[int, int]],
+    forward_reach: Dict[NodeId, Set[NodeId]],
+    backward_reach: Dict[NodeId, Set[NodeId]],
+    max_parents_per_landmark: int = 4,
+    max_levels: Optional[int] = None,
+) -> HierarchicalLandmarkIndex:
+    """Deterministic assembly: levels, index edges, ranges.
+
+    Everything downstream of the per-landmark sweeps is cheap and pure; the
+    fresh build and the incremental repair both run this exact function, so
+    equal inputs guarantee an identical index.
+    """
+    compressed = index.compressed
+    dag = compressed.dag
+    alpha = index.alpha
+    size_budget = index.size_budget
+    index.cover_parts = cover_parts
+    index.forward_reach = forward_reach
+    index.backward_reach = backward_reach
+    cover = {
+        landmark: (parts[0] + 1) * (parts[1] + 1) for landmark, parts in cover_parts.items()
+    }
+    exclusion_radius = max(1, math.floor(2 / alpha)) if alpha < 1 else 1
 
     # --- arrange landmarks into levels (subsets moved up) ---------------- #
     shrink = max(2, exclusion_radius)
@@ -339,11 +439,4 @@ def build_index(
                 range_low=low,
                 range_high=high,
             )
-
-    # --- out-of-index labels v.E ------------------------------------------ #
-    landmark_set = set(leaves)
-    label_cap = max(1, size_budget // 2)
-    index.forward_labels, index.backward_labels = out_of_index_labels(
-        dag, landmark_set, max_labels=label_cap, csr_dag=compressed.dag_csr
-    )
     return index

@@ -15,7 +15,6 @@ NP-hard, so the paper selects landmarks greedily:
 
 from __future__ import annotations
 
-import heapq
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.digraph import DiGraph, NodeId
@@ -28,6 +27,16 @@ def selection_scores(dag: GraphLike, ranks: TopologicalRankIndex) -> Dict[NodeId
     return {node: ranks.selection_score(node) for node in dag.nodes()}
 
 
+def selection_sort_key(node: NodeId, degree: int, rank: int, weight: float = 1.0):
+    """The (descending) greedy-selection sort key of one candidate.
+
+    Shared between :func:`greedy_landmarks` and the incremental maintenance
+    (which re-derives keys only for disturbed nodes): the float expression
+    must be evaluated identically in both places or the two orders diverge.
+    """
+    return (-((degree * (rank + 1)) * weight), -degree, repr(node))
+
+
 def greedy_landmarks(
     dag: GraphLike,
     ranks: TopologicalRankIndex,
@@ -35,6 +44,7 @@ def greedy_landmarks(
     exclusion_radius: int,
     candidates: Optional[Sequence[NodeId]] = None,
     weights: Optional[Dict[NodeId, float]] = None,
+    ordered: Optional[Sequence[NodeId]] = None,
 ) -> List[NodeId]:
     """Select up to ``count`` landmarks greedily.
 
@@ -50,22 +60,33 @@ def greedy_landmarks(
     it even though it covers by far the most original node pairs (see
     DESIGN.md, "Key design decisions").
 
+    ``ordered`` optionally supplies the full candidate list already sorted
+    by :func:`selection_sort_key` (descending), skipping the sort entirely.
+
     The returned list is ordered by decreasing greedy score.
     """
     if count <= 0:
         return []
-    pool = list(candidates) if candidates is not None else list(dag.nodes())
-    scores = {
-        node: (dag.degree(node) * (ranks.rank(node) + 1)) * (weights.get(node, 1.0) if weights else 1.0)
-        for node in pool
-    }
-    # Max-heap over (score, degree, stable tiebreak).
-    heap = [(-scores[node], -dag.degree(node), repr(node), node) for node in pool]
-    heapq.heapify(heap)
+    if ordered is None:
+        pool = list(candidates) if candidates is not None else list(dag.nodes())
+
+        # One descending sort on (score, degree, stable tiebreak) visits
+        # candidates in exactly the order the former heap popped them (keys
+        # are unique thanks to the repr tiebreak), at C-sort speed.
+        def sort_key(node: NodeId):
+            return selection_sort_key(
+                node,
+                dag.degree(node),
+                ranks.rank(node),
+                weights.get(node, 1.0) if weights else 1.0,
+            )
+
+        ordered = sorted(pool, key=sort_key)
     excluded: Set[NodeId] = set()
     selected: List[NodeId] = []
-    while heap and len(selected) < count:
-        _, _, _, node = heapq.heappop(heap)
+    for node in ordered:
+        if len(selected) >= count:
+            break
         if node in excluded:
             continue
         selected.append(node)

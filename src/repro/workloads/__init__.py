@@ -1,5 +1,6 @@
-"""Workloads: surrogate datasets, synthetic series and query generators."""
+"""Workloads: surrogate datasets, synthetic series, query and delta generators."""
 
+from repro.workloads.deltas import DeltaStream, generate_delta_stream
 from repro.workloads.datasets import (
     YAHOO_PAPER_SIZE,
     YOUTUBE_PAPER_SIZE,
@@ -23,6 +24,8 @@ from repro.workloads.queries import (
 )
 
 __all__ = [
+    "DeltaStream",
+    "generate_delta_stream",
     "YAHOO_PAPER_SIZE",
     "YOUTUBE_PAPER_SIZE",
     "DatasetSpec",

@@ -1,12 +1,14 @@
 #!/usr/bin/env python
 """Machine-readable benchmark reports plus the CI regression gate.
 
-Runs two quick smoke suites and writes one JSON report each:
+Runs three quick smoke suites and writes one JSON report each:
 
 * ``BENCH_engine.json`` — the batched query engine: serial vs process-pool
   throughput on an RBReach batch, parallel speedup, LRU-cache behaviour;
 * ``BENCH_backend.json`` — DiGraph vs CSRGraph on the BFS-heavy traversal
-  suite and the end-to-end RBReach experiment loop.
+  suite and the end-to-end RBReach experiment loop;
+* ``BENCH_updates.json`` — incremental ``QueryEngine.update`` vs a full
+  re-prepare on ≤1% delta batches, plus update throughput.
 
 Each report carries a ``gates`` table naming the metrics CI guards.  Gated
 metrics are deliberately *relative* (speedups, hit rates): they transfer
@@ -208,12 +210,79 @@ def backend_suite() -> dict:
     }
 
 
-SUITES = {"engine": engine_suite, "backend": backend_suite}
+def updates_suite() -> dict:
+    """Incremental update maintenance vs full re-preparation."""
+    import sys as _sys
+
+    bench_dir = str(ROOT / "benchmarks")
+    if bench_dir not in _sys.path:
+        _sys.path.insert(0, bench_dir)
+    from bench_updates_incremental import measure_incremental_update
+
+    metrics = measure_incremental_update(seed=SEED)
+    return {
+        "suite": "updates",
+        "schema_version": 1,
+        "environment": _environment(),
+        "config": {
+            "dataset": metrics["dataset"],
+            "alpha": metrics["alpha"],
+            "delta_fraction": metrics["delta_fraction"],
+            "ops_per_batch": metrics["ops_per_batch"],
+            "batches": metrics["batches"],
+        },
+        "metrics": {
+            "initial_prepare_seconds": metrics["initial_prepare_seconds"],
+            "bootstrap_update_seconds": metrics["bootstrap_update_seconds"],
+            "warm_update_seconds": metrics["warm_update_seconds"],
+            "full_prepare_seconds": metrics["full_prepare_seconds"],
+            "incremental_speedup": metrics["incremental_speedup"],
+            "updates_per_second": metrics["updates_per_second"],
+            "patched_batches": metrics["modes"].get("patched", 0),
+            "rebuild_equivalent": int(metrics["rebuild_equivalent"]),
+        },
+        # incremental_speedup is the headline relative metric;
+        # rebuild_equivalent is a hard 0/1 correctness witness (any drop
+        # below 1 fails the gate outright at every tolerance).
+        "gates": {
+            "incremental_speedup": "higher",
+            "rebuild_equivalent": "higher",
+        },
+    }
+
+
+SUITES = {"engine": engine_suite, "backend": backend_suite, "updates": updates_suite}
 
 
 # --------------------------------------------------------------------------- #
 # Gate
 # --------------------------------------------------------------------------- #
+class BaselineError(RuntimeError):
+    """A committed baseline file is missing or unusable."""
+
+
+def load_baseline(path: Path) -> dict:
+    """Parse a committed baseline, raising a *clear* error when unusable.
+
+    A missing, syntactically broken or structurally wrong baseline file must
+    fail the gate with an actionable message (and a non-zero exit), not a
+    raw traceback: the fix is always the same — rerun with ``--update``.
+    """
+    if not path.exists():
+        raise BaselineError(f"no committed baseline at {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise BaselineError(f"baseline {path} is unreadable or malformed JSON: {error}") from error
+    if not isinstance(payload, dict) or not isinstance(payload.get("metrics"), dict):
+        raise BaselineError(
+            f"baseline {path} has no 'metrics' table; regenerate it with --update"
+        )
+    if not isinstance(payload.get("gates", {}), dict):
+        raise BaselineError(f"baseline {path} has a malformed 'gates' table")
+    return payload
+
+
 def check_against_baseline(report: dict, baseline: dict, tolerance: float) -> list:
     """Failure messages for every gated metric that regressed past tolerance."""
     failures = []
@@ -279,7 +348,11 @@ def main(argv=None) -> int:
                 # a shared CI runner can never clear).  Raising a floor after
                 # an intentional improvement is a deliberate act — edit the
                 # baseline file by hand.
-                previous = json.loads(baseline_path.read_text(encoding="utf-8"))
+                try:
+                    previous = load_baseline(baseline_path)
+                except BaselineError as error:
+                    print(f"[bench_report] replacing unusable baseline: {error}")
+                    previous = {}
                 if "note" in previous:
                     merged["note"] = previous["note"]
                 for metric, direction in merged.get("gates", {}).items():
@@ -297,10 +370,11 @@ def main(argv=None) -> int:
             )
         elif args.check:
             baseline_path = args.baseline_dir / f"BENCH_{name}.json"
-            if not baseline_path.exists():
-                failures.append(f"{name}: no committed baseline at {baseline_path}")
+            try:
+                baseline = load_baseline(baseline_path)
+            except BaselineError as error:
+                failures.append(f"{name}: {error} (regenerate with --update)")
                 continue
-            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
             failures.extend(check_against_baseline(report, baseline, args.tolerance))
 
     if failures:

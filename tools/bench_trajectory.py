@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Append tonight's benchmark metrics to the performance trajectory.
+
+The nightly workflow runs the full benchmark suite and ``bench_report``,
+then calls this tool: every ``BENCH_*.json`` in ``benchmarks/_reports/`` is
+flattened into one JSON line (timestamp, git commit, suite, metrics) and
+appended to ``benchmarks/_reports/trajectory.jsonl``.  The workflow restores
+the previous trajectory from its cache before running and uploads the grown
+file as an artifact afterwards, so the repository accumulates an actual
+performance history instead of a single point per run.
+
+Usage:
+    python tools/bench_trajectory.py            # append from _reports/
+    python tools/bench_trajectory.py --show     # print the history, newest last
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+REPORT_DIR = ROOT / "benchmarks" / "_reports"
+TRAJECTORY_PATH = REPORT_DIR / "trajectory.jsonl"
+
+
+def git_commit() -> str:
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return completed.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def append(argv_reports=None) -> int:
+    reports = sorted(REPORT_DIR.glob("BENCH_*.json"))
+    if not reports:
+        print(f"[bench_trajectory] no BENCH_*.json found in {REPORT_DIR}; run bench_report first")
+        return 1
+    stamp = datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")
+    commit = git_commit()
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
+    appended = 0
+    with TRAJECTORY_PATH.open("a", encoding="utf-8") as handle:
+        for path in reports:
+            try:
+                report = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as error:
+                print(f"[bench_trajectory] skipping unreadable {path.name}: {error}")
+                continue
+            row = {
+                "timestamp": stamp,
+                "commit": commit,
+                "suite": report.get("suite", path.stem),
+                "environment": report.get("environment", {}),
+                "metrics": report.get("metrics", {}),
+            }
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+            appended += 1
+    print(f"[bench_trajectory] appended {appended} suite row(s) to {TRAJECTORY_PATH}")
+    return 0
+
+
+def show() -> int:
+    if not TRAJECTORY_PATH.exists():
+        print(f"[bench_trajectory] no trajectory yet at {TRAJECTORY_PATH}")
+        return 1
+    for line in TRAJECTORY_PATH.read_text(encoding="utf-8").splitlines():
+        row = json.loads(line)
+        metrics = " ".join(f"{key}={value}" for key, value in sorted(row["metrics"].items()))
+        print(f"{row['timestamp']} {row['commit']} {row['suite']}: {metrics}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--show", action="store_true", help="print the history instead of appending")
+    args = parser.parse_args(argv)
+    return show() if args.show else append()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
