@@ -53,6 +53,7 @@ from repro.reachability import (
     compress,
     rbreach,
 )
+from repro.shard import Partition, ShardedEngine, partition_graph
 from repro.workloads import (
     generate_pattern_workload,
     generate_reachability_workload,
@@ -94,6 +95,9 @@ __all__ = [
     "build_index",
     "compress",
     "rbreach",
+    "Partition",
+    "ShardedEngine",
+    "partition_graph",
     "generate_pattern_workload",
     "generate_reachability_workload",
     "load_dataset",

@@ -25,6 +25,14 @@ Subcommands
     serving the updated graph), patch/rebuild/compaction counts and cache
     retention; ``--verify`` additionally checks every batch against a
     freshly prepared engine (the rebuild-equivalence contract).
+``shard``
+    Partition a dataset into ``k`` shards and answer a sampled workload
+    through the :class:`~repro.shard.ShardedEngine`, reporting the cut
+    (edges, fraction, boundary size, cross-shard routes), per-shard routing
+    counts, spillover (cross-shard pairs, local misses composed through the
+    boundary graph, spilled pattern balls) and throughput;
+    ``--compare-unsharded`` also answers the batch on a single-graph engine
+    and reports answer agreement plus relative speed.
 """
 
 from __future__ import annotations
@@ -143,6 +151,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="after every delta, compare answers against a freshly prepared engine",
     )
     update_parser.add_argument("--output", type=Path, default=None, help="write a JSON report here")
+
+    shard_parser = subparsers.add_parser(
+        "shard",
+        help="partition a dataset and answer a workload through the sharded engine",
+    )
+    shard_parser.add_argument("--dataset", default="youtube-small", help="dataset to partition and serve")
+    shard_parser.add_argument("--shards", "-k", type=int, default=4, help="number of shards k")
+    shard_parser.add_argument(
+        "--method",
+        choices=["greedy", "hash"],
+        default="greedy",
+        help="partitioner: seeded BFS-grown greedy edge-cut minimiser, or the hash baseline",
+    )
+    shard_parser.add_argument(
+        "--halo-depth",
+        type=int,
+        default=None,
+        help="ghost-region depth (default 3 = the pattern-parity margin; "
+        "1 gives thinner halos for reach-only serving and stronger update locality)",
+    )
+    shard_parser.add_argument(
+        "--kind",
+        choices=["reach", "sim", "sub"],
+        default="reach",
+        help="query class: RBReach reachability, RBSim simulation or RBSub subgraph patterns",
+    )
+    shard_parser.add_argument("--alpha", type=float, default=0.02, help="resource ratio α")
+    shard_parser.add_argument("--count", type=int, default=200, help="sampled workload size")
+    shard_parser.add_argument(
+        "--shape",
+        default="4,8",
+        help="pattern shape '|Vp|,|Ep|' for sampled pattern workloads (default 4,8)",
+    )
+    shard_parser.add_argument(
+        "--executor", choices=["serial", "thread", "process"], default="serial"
+    )
+    shard_parser.add_argument("--workers", type=int, default=None, help="worker count (default: all cores)")
+    shard_parser.add_argument("--seed", type=int, default=0)
+    shard_parser.add_argument(
+        "--compare-unsharded",
+        action="store_true",
+        help="also answer the batch on a single-graph engine and report agreement + speedup",
+    )
+    shard_parser.add_argument("--output", type=Path, default=None, help="write a JSON report here")
     return parser
 
 
@@ -417,6 +469,170 @@ def _command_update(args) -> int:
     return 1 if verify_failures else 0
 
 
+def _command_shard(args) -> int:
+    from repro.core.accuracy import boolean_accuracy
+    from repro.engine import PatternQuery, QueryEngine, ReachQuery
+    from repro.shard import DEFAULT_HALO_DEPTH, ShardedEngine
+    from repro.workloads.queries import (
+        generate_pattern_workload,
+        generate_reachability_workload,
+    )
+
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    graph = load_dataset(args.dataset, seed=args.seed)
+    truth = None
+    if args.kind == "reach":
+        workload = generate_reachability_workload(graph, count=args.count, seed=args.seed)
+        pairs = workload.pairs
+        truth = workload.truth
+        queries = [ReachQuery(source, target) for source, target in pairs]
+    else:
+        try:
+            shape = tuple(int(part) for part in args.shape.split(","))
+            if len(shape) != 2:
+                raise ValueError
+        except ValueError:
+            raise SystemExit(f"--shape must be '|Vp|,|Ep|', got {args.shape!r}") from None
+        pattern_workload = generate_pattern_workload(
+            graph, shape=shape, count=args.count, seed=args.seed
+        )
+        semantics = "simulation" if args.kind == "sim" else "subgraph"
+        queries = [
+            PatternQuery(query.pattern, query.personalized_match, semantics=semantics)
+            for query in pattern_workload
+        ]
+
+    halo_depth = args.halo_depth if args.halo_depth is not None else DEFAULT_HALO_DEPTH
+    started = time.perf_counter()
+    engine = ShardedEngine(
+        graph,
+        num_shards=args.shards,
+        method=args.method,
+        seed=args.seed,
+        halo_depth=halo_depth,
+    )
+    if args.kind == "reach":
+        engine.prepare(reach_alphas=[args.alpha])
+    elif args.kind == "sim":
+        engine.prepare(pattern_alphas=[args.alpha])
+    else:
+        engine.prepare(subgraph_alphas=[args.alpha])
+    prepare_seconds = time.perf_counter() - started
+    profile = engine.describe()
+
+    print(
+        f"shard: dataset={args.dataset} k={args.shards} method={args.method} "
+        f"halo_depth={halo_depth} kind={args.kind} n={len(queries)} alpha={args.alpha} "
+        f"executor={args.executor} workers={args.workers or 'auto'}"
+    )
+    print(
+        f"partition: nodes/shard={profile['shard_nodes']} "
+        f"cut={profile['cut_edges']} ({profile['cut_fraction']:.1%} of edges) "
+        f"boundary={profile['boundary_fraction']:.1%} of nodes"
+    )
+    print(
+        f"boundary graph: {profile['boundary_supernodes']} supernodes, "
+        f"{profile['boundary_edges']} edges, routes={profile['cross_shard_routes'] or '{}'}"
+    )
+    print(f"prepare: {prepare_seconds:.3f}s (partition + per-shard indexes + boundary)")
+
+    report = engine.run_batch(queries, args.alpha, executor=args.executor, workers=args.workers)
+    print(
+        f"batch: wall={report.wall_seconds:.3f}s throughput={report.throughput:.1f} q/s "
+        f"chunks={report.chunks}"
+    )
+    print(f"routing: per-shard={dict(sorted(report.per_shard.items()))}")
+    print(
+        f"spillover: cross-shard={report.cross_reach} local-miss-composed={report.miss_composed} "
+        f"pattern-spilled={report.pattern_spilled} "
+        f"({report.spillover_fraction:.1%} of the batch)"
+    )
+
+    payload = {
+        "dataset": args.dataset,
+        "kind": args.kind,
+        "alpha": args.alpha,
+        "num_shards": args.shards,
+        "method": args.method,
+        "halo_depth": halo_depth,
+        "executor": args.executor,
+        "workers": args.workers,
+        "num_queries": len(queries),
+        "prepare_seconds": prepare_seconds,
+        "partition": profile,
+        "wall_seconds": report.wall_seconds,
+        "throughput_qps": report.throughput,
+        "per_shard": {str(shard): count for shard, count in sorted(report.per_shard.items())},
+        "cross_reach": report.cross_reach,
+        "miss_composed": report.miss_composed,
+        "pattern_contained": report.pattern_contained,
+        "pattern_spilled": report.pattern_spilled,
+        "spillover_fraction": report.spillover_fraction,
+    }
+
+    if truth is not None:
+        mapping = {pair: answer.reachable for pair, answer in zip(pairs, report.answers)}
+        accuracy = boolean_accuracy(truth, mapping)
+        false_positives = sum(
+            1 for pair in pairs if mapping[pair] and not truth[pair]
+        )
+        payload["accuracy_f_measure"] = accuracy.f_measure
+        payload["false_positives"] = false_positives
+        print(
+            f"accuracy vs exact oracle: f-measure={accuracy.f_measure:.3f} "
+            f"false-positives={false_positives} (contract: always 0)"
+        )
+
+    # A false positive breaks the hard contract: fail the command (the
+    # report is still written so the violation is documented).
+    exit_code = 1 if payload.get("false_positives") else 0
+    if args.compare_unsharded:
+        single = QueryEngine(graph, cache_size=0)
+        if args.kind == "reach":
+            single.prepare(reach_alphas=[args.alpha])
+        elif args.kind == "sim":
+            single.prepare(pattern_alphas=[args.alpha])
+        else:
+            single.prepare(subgraph_alphas=[args.alpha])
+        single_report = single.run_batch(queries, args.alpha)
+        if args.kind == "reach":
+            agree = sum(
+                1
+                for mine, theirs in zip(report.answers, single_report.answers)
+                if mine.reachable == theirs.reachable
+            )
+            sharded_fp = sum(
+                1
+                for mine, theirs in zip(report.answers, single_report.answers)
+                if mine.reachable and not theirs.reachable
+            )
+        else:
+            agree = sum(
+                1
+                for mine, theirs in zip(report.answers, single_report.answers)
+                if mine.answer == theirs.answer
+            )
+            sharded_fp = 0
+        speedup = (
+            single_report.wall_seconds / report.wall_seconds
+            if report.wall_seconds > 0
+            else 0.0
+        )
+        payload["unsharded_wall_seconds"] = single_report.wall_seconds
+        payload["sharded_speedup"] = speedup
+        payload["agreement"] = agree / max(1, len(queries))
+        print(
+            f"vs unsharded: agreement={agree}/{len(queries)} "
+            f"positives-not-in-unsharded={sharded_fp} speedup={speedup:.2f}x"
+        )
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"(report written to {args.output})")
+    return exit_code
+
+
 def _answers_identical(kind: str, left, right) -> bool:
     """Compare two answer lists field-by-field (the parity contract)."""
     if kind == "reach":
@@ -471,6 +687,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_batch(args)
     if args.command == "update":
         return _command_update(args)
+    if args.command == "shard":
+        return _command_shard(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -79,6 +79,12 @@ class RBSim:
         Optional shared :class:`NeighborhoodIndex`; pass one when issuing many
         queries against the same graph so the offline summaries are reused
         (this mirrors the paper's once-for-all preprocessing).
+    reference_size:
+        ``|G|`` used for the resource budget; defaults to the size of
+        ``graph``.  The sharded serving layer evaluates queries on a shard
+        subgraph while keeping the paper's bound stated on the *full* graph,
+        so it passes the global size here (budgets, and therefore answers,
+        then match single-graph evaluation exactly).
     """
 
     def __init__(
@@ -87,11 +93,13 @@ class RBSim:
         alpha: float,
         config: Optional[RBSimConfig] = None,
         neighborhood_index: Optional[NeighborhoodIndex] = None,
+        reference_size: Optional[int] = None,
     ) -> None:
         self._graph = graph
         self._alpha = alpha
         self._config = config or RBSimConfig()
         self._index = neighborhood_index or NeighborhoodIndex(graph)
+        self._reference_size = reference_size
         self._max_degree_cache: Optional[int] = None
 
     @property
@@ -115,9 +123,10 @@ class RBSim:
         coefficient = self._config.visit_coefficient
         if coefficient is None:
             coefficient = float(self._max_degree())
+        size = self._reference_size if self._reference_size is not None else self._graph.size()
         return ResourceBudget(
             alpha=self._alpha,
-            graph_size=self._graph.size(),
+            graph_size=size,
             visit_coefficient=coefficient,
         )
 

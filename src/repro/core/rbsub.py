@@ -45,11 +45,13 @@ class RBSub:
         alpha: float,
         config: Optional[RBSubConfig] = None,
         neighborhood_index: Optional[NeighborhoodIndex] = None,
+        reference_size: Optional[int] = None,
     ) -> None:
         self._graph = graph
         self._alpha = alpha
         self._config = config or RBSubConfig()
         self._index = neighborhood_index or NeighborhoodIndex(graph)
+        self._reference_size = reference_size
         self._max_degree_cache: Optional[int] = None
 
     @property
@@ -73,9 +75,10 @@ class RBSub:
         coefficient = self._config.visit_coefficient
         if coefficient is None:
             coefficient = float(self._max_degree())
+        size = self._reference_size if self._reference_size is not None else self._graph.size()
         return ResourceBudget(
             alpha=self._alpha,
-            graph_size=self._graph.size(),
+            graph_size=size,
             visit_coefficient=coefficient,
         )
 

@@ -108,16 +108,26 @@ class QueryEngine:
     compressed:
         Optional precomputed SCC condensation (requires ``mirror="never"``),
         see :class:`PreparedGraph`.
+    prepared:
+        Optional pre-built :class:`PreparedGraph` to serve on (``graph``,
+        ``mirror`` and ``compressed`` are then ignored).  The sharded
+        serving layer builds per-shard prepared state with non-default
+        budget references and injects it here.
     """
 
     def __init__(
         self,
-        graph: GraphLike,
+        graph: Optional[GraphLike] = None,
         cache_size: int = 4096,
         mirror: str = "auto",
         compressed=None,
+        prepared: Optional[PreparedGraph] = None,
     ):
-        self._prepared = PreparedGraph(graph, mirror=mirror, compressed=compressed)
+        if prepared is None:
+            if graph is None:
+                raise EngineError("QueryEngine needs a graph (or a prepared state)")
+            prepared = PreparedGraph(graph, mirror=mirror, compressed=compressed)
+        self._prepared = prepared
         self._cache = AnswerCache(cache_size)
         # Invalidation anchors: cache key → what part of the graph the query
         # touches, so updates can evict surgically (see :meth:`update`).

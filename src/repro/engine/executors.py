@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, List, Optional, Sequence, Tuple
 
@@ -76,20 +77,43 @@ def answer_chunk(prepared: PreparedGraph, task: Task) -> List[Any]:
 # ----------------------------------------------------------------------- #
 # Worker-process plumbing
 # ----------------------------------------------------------------------- #
-_WORKER_PREPARED: Optional[PreparedGraph] = None
+_WORKER_STATE: Optional[Any] = None
+
+# Under ``fork`` the parent parks the state here (keyed by a per-pool token)
+# and the initializer reads it from inherited memory: ``initargs`` are
+# pickled per worker even when forking, and for multi-hundred-megabyte
+# prepared state that serialisation would dwarf the pool startup the
+# docstring promises is milliseconds.  The token keyring (rather than one
+# global slot) keeps concurrent pools from different engines from adopting
+# each other's state; the GIL is held across ``os.fork``, so a child always
+# snapshots the dict in a consistent state containing its own token.
+_PARENT_STATES: dict = {}
+_PARENT_TOKEN = 0
+_PARENT_LOCK = threading.Lock()
 
 
-def _initialize_worker(prepared: PreparedGraph) -> None:
-    """Pool initializer: receive the prepared state once per worker."""
-    global _WORKER_PREPARED
-    _WORKER_PREPARED = prepared
+def _initialize_worker(state: Any) -> None:
+    """Pool initializer: receive the shared read-only state once per worker."""
+    global _WORKER_STATE
+    _WORKER_STATE = state
 
 
-def _run_task_in_worker(task: Task) -> List[Any]:
-    """Entry point executed inside a worker process."""
-    if _WORKER_PREPARED is None:  # pragma: no cover - initializer always ran
-        raise EngineError("worker process was not initialized with prepared state")
-    return answer_chunk(_WORKER_PREPARED, task)
+def _initialize_worker_from_parent(token: int) -> None:
+    """Fork-only pool initializer: adopt the state inherited copy-on-write."""
+    global _WORKER_STATE
+    _WORKER_STATE = _PARENT_STATES[token]
+
+
+def _run_task_in_worker(payload: Tuple[Any, Any]) -> List[Any]:
+    """Entry point executed inside a worker process.
+
+    ``payload`` is ``(chunk_fn, task)``; the chunk function is a module-level
+    callable (pickled by reference) applied to the worker's shared state.
+    """
+    if _WORKER_STATE is None:  # pragma: no cover - initializer always ran
+        raise EngineError("worker process was not initialized with shared state")
+    chunk_fn, task = payload
+    return chunk_fn(_WORKER_STATE, task)
 
 
 def _process_context():
@@ -111,27 +135,27 @@ class SerialExecutor:
     def __init__(self, workers: Optional[int] = None):
         self.workers = 1
 
-    def run(self, prepared: PreparedGraph, tasks: Sequence[Task]) -> List[List[Any]]:
+    def run(self, state: Any, tasks: Sequence[Any], chunk_fn=answer_chunk) -> List[List[Any]]:
         """Chunk results, in task order."""
-        return [answer_chunk(prepared, task) for task in tasks]
+        return [chunk_fn(state, task) for task in tasks]
 
 
 class ThreadExecutor:
-    """Thread-pool executor sharing the prepared state in-process."""
+    """Thread-pool executor sharing the state in-process."""
 
     name = "thread"
 
     def __init__(self, workers: Optional[int] = None):
         self.workers = max(1, workers or default_workers())
 
-    def run(self, prepared: PreparedGraph, tasks: Sequence[Task]) -> List[List[Any]]:
+    def run(self, state: Any, tasks: Sequence[Any], chunk_fn=answer_chunk) -> List[List[Any]]:
         """Chunk results, in task order."""
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(lambda task: answer_chunk(prepared, task), tasks))
+            return list(pool.map(lambda task: chunk_fn(state, task), tasks))
 
 
 class ProcessExecutor:
-    """Process-pool executor; prepared state ships once per worker.
+    """Process-pool executor; the shared state ships once per worker.
 
     The pool lives for one :meth:`run` call (one batch): a fresh pool per
     batch keeps correctness trivial — workers can never hold stale prepared
@@ -146,17 +170,41 @@ class ProcessExecutor:
     def __init__(self, workers: Optional[int] = None):
         self.workers = max(1, workers or default_workers())
 
-    def run(self, prepared: PreparedGraph, tasks: Sequence[Task]) -> List[List[Any]]:
-        """Chunk results, in task order."""
+    def run(self, state: Any, tasks: Sequence[Any], chunk_fn=answer_chunk) -> List[List[Any]]:
+        """Chunk results, in task order.
+
+        ``chunk_fn`` must be a module-level function (it is shipped to the
+        workers by reference); ``state`` must pickle — both hold for the
+        engine's :class:`PreparedGraph` and for the sharded engine's
+        shard-state table.
+        """
         if not tasks:
             return []
-        with ProcessPoolExecutor(
-            max_workers=self.workers,
-            mp_context=_process_context(),
-            initializer=_initialize_worker,
-            initargs=(prepared,),
-        ) as pool:
-            return list(pool.map(_run_task_in_worker, tasks))
+        context = _process_context()
+        forking = context.get_start_method() == "fork"
+        token = None
+        if forking:
+            global _PARENT_TOKEN
+            with _PARENT_LOCK:
+                _PARENT_TOKEN += 1
+                token = _PARENT_TOKEN
+            _PARENT_STATES[token] = state
+            initializer, initargs = _initialize_worker_from_parent, (token,)
+        else:  # pragma: no cover - non-fork platforms
+            initializer, initargs = _initialize_worker, (state,)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
+                return list(
+                    pool.map(_run_task_in_worker, [(chunk_fn, task) for task in tasks])
+                )
+        finally:
+            if token is not None:
+                _PARENT_STATES.pop(token, None)
 
 
 EXECUTORS = {

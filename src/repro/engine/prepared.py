@@ -104,6 +104,17 @@ class PreparedGraph:
         do for their baselines) to avoid a second O(V+E) compress pass.
         Only accepted with ``mirror="never"``: the condensation must
         describe the exact substrate the engine serves on.
+    reach_reference_size:
+        Optional ``|G|`` used for the ``RBReach`` index budget instead of
+        the serving graph's own size.  The sharded serving layer pins each
+        shard's share of the global ``α·|G|`` budget here, so the per-shard
+        indexes together stay within the paper's bound.
+    pattern_reference_size / pattern_visit_coefficient:
+        Optional overrides for the pattern matchers' resource budget
+        (``α·|G|`` storage cap and visit coefficient ``c = d_G``).  A shard
+        evaluates pattern queries on its subgraph but under the *global*
+        graph's budget parameters, which is what makes shard-contained
+        answers bit-identical to single-graph evaluation.
     """
 
     def __init__(
@@ -111,6 +122,9 @@ class PreparedGraph:
         graph: GraphLike,
         mirror: str = "auto",
         compressed: Optional[CompressedGraph] = None,
+        reach_reference_size: Optional[int] = None,
+        pattern_reference_size: Optional[int] = None,
+        pattern_visit_coefficient: Optional[float] = None,
     ):
         self.original = graph
         self.graph = _freeze(graph, mirror)
@@ -131,6 +145,9 @@ class PreparedGraph:
         self._rbsub: Dict[float, RBSub] = {}
         self._maintainer = None  # CondensationMaintainer, built on first patch
         self._max_degree_cache: Optional[int] = None
+        self._reach_reference_size = reach_reference_size
+        self._pattern_reference_size = pattern_reference_size
+        self._pattern_visit_coefficient = pattern_visit_coefficient
 
     @property
     def backend(self) -> str:
@@ -179,13 +196,19 @@ class PreparedGraph:
             self._compress_seconds = time.perf_counter() - started
         return self._compressed
 
+    def _reach_reference(self) -> int:
+        """``|G|`` the α reachability budget is stated on (override-aware)."""
+        if self._reach_reference_size is not None:
+            return self._reach_reference_size
+        return self.graph.size()
+
     def reachability_index(self, alpha: float) -> HierarchicalLandmarkIndex:
         """The hierarchical landmark index for ``alpha``, built on first use."""
         index = self._indexes.get(alpha)
         if index is None:
             compressed = self.compressed()
             started = time.perf_counter()
-            index = build_index(compressed, alpha, reference_size=self.graph.size())
+            index = build_index(compressed, alpha, reference_size=self._reach_reference())
             self._index_build_seconds[alpha] = time.perf_counter() - started
             self._indexes[alpha] = index
         return index
@@ -216,7 +239,11 @@ class PreparedGraph:
         matcher = self._rbsim.get(alpha)
         if matcher is None:
             matcher = RBSim(
-                self.graph, alpha, config=RBSimConfig(), neighborhood_index=self.neighborhood_index()
+                self.graph,
+                alpha,
+                config=RBSimConfig(visit_coefficient=self._pattern_visit_coefficient),
+                neighborhood_index=self.neighborhood_index(),
+                reference_size=self._pattern_reference_size,
             )
             self._rbsim[alpha] = matcher
         return matcher
@@ -226,10 +253,52 @@ class PreparedGraph:
         matcher = self._rbsub.get(alpha)
         if matcher is None:
             matcher = RBSub(
-                self.graph, alpha, config=RBSubConfig(), neighborhood_index=self.neighborhood_index()
+                self.graph,
+                alpha,
+                config=RBSubConfig(visit_coefficient=self._pattern_visit_coefficient),
+                neighborhood_index=self.neighborhood_index(),
+                reference_size=self._pattern_reference_size,
             )
             self._rbsub[alpha] = matcher
         return matcher
+
+    # ------------------------------------------------------------------ #
+    # Budget retargeting (sharded serving)
+    # ------------------------------------------------------------------ #
+    def retarget_reach_budget(self, reference_size: int) -> bool:
+        """Re-pin the α reachability budget to a new reference ``|G|``.
+
+        The sharded engine calls this after an update changed a shard's
+        share of the global budget.  When the reference actually moved, the
+        built α indexes (sized for the old reference) are dropped for lazy
+        rebuild; returns whether anything changed.
+        """
+        if self._reach_reference_size == reference_size:
+            return False
+        self._reach_reference_size = reference_size
+        self._indexes = {}
+        self._index_build_seconds = {}
+        self._rbreach = {}
+        return True
+
+    def retarget_pattern_budget(self, reference_size: int, visit_coefficient: float) -> bool:
+        """Re-pin the pattern budget parameters (global ``|G|`` and ``d_G``).
+
+        Cached matchers hold the old budget, so they are dropped for lazy
+        rebuild when either parameter moved; returns whether anything
+        changed.  The shared neighbourhood summaries are content-derived and
+        survive untouched.
+        """
+        if (
+            self._pattern_reference_size == reference_size
+            and self._pattern_visit_coefficient == visit_coefficient
+        ):
+            return False
+        self._pattern_reference_size = reference_size
+        self._pattern_visit_coefficient = visit_coefficient
+        self._rbsim = {}
+        self._rbsub = {}
+        return True
 
     # ------------------------------------------------------------------ #
     # Eager preparation
@@ -391,7 +460,7 @@ class PreparedGraph:
         old_indexes = self._indexes
         self._indexes = {}
         self._rbreach = {}
-        reference_size = self.graph.size()
+        reference_size = self._reach_reference()
         for alpha, old_index in old_indexes.items():
             repaired = repair_index(old_index, new_compressed, patch, reference_size)
             self._indexes[alpha] = repaired

@@ -62,5 +62,9 @@ class EngineError(ReproError):
     """Raised when the batched query engine is configured or used incorrectly."""
 
 
+class ShardError(ReproError):
+    """Raised when the sharded serving layer is configured or used incorrectly."""
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment configuration is invalid."""

@@ -1,0 +1,421 @@
+"""Deterministic graph partitioners for the sharded serving layer.
+
+FanWW14's resource-bounded queries are *local*: a pattern query touches only
+the ``d_Q``-ball around its personalized match and ``RBReach`` touches only
+``α·|G|`` of a per-graph index.  Partitioned serving exploits that locality —
+most queries resolve inside one shard — so the quality of a partition is
+measured by its *edge cut* (cross-shard edges force scatter–gather) and its
+*balance* (the largest shard bounds tail latency).
+
+Two partitioners are provided, both fully deterministic:
+
+* :func:`hash_partition` — the baseline: shard = ``sha1(repr(node)) mod k``.
+  Hash-randomisation-proof and independent of the graph's structure, so new
+  nodes can be placed without coordination, at the price of an edge cut near
+  the random-cut expectation ``(k-1)/k``.
+* :func:`greedy_partition` — a seeded BFS-grown greedy edge-cut minimiser:
+  ``k`` seed nodes grow breadth-first regions round-robin under a balance
+  cap, each region claiming the frontier candidate with the strongest pull
+  (most neighbours already inside, fewest outside), followed by boundary
+  refinement passes that move a node to a neighbouring shard when that
+  strictly reduces the cut without breaking balance.
+
+Every iteration order is derived from the graph's stored orders and explicit
+``random.Random(seed)`` draws, so the same ``(graph, k, seed)`` yields the
+identical :class:`Partition` on every machine and in every worker process —
+the property ``tests/test_determinism.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.exceptions import ShardError
+from repro.graph.digraph import NodeId
+from repro.graph.protocol import GraphLike
+
+HASH = "hash"
+GREEDY = "greedy"
+METHODS = (HASH, GREEDY)
+
+REFINEMENT_PASSES = 2
+"""Boundary-refinement sweeps after BFS growth (diminishing returns beyond)."""
+
+BALANCE_SLACK = 0.10
+"""Shards may exceed the ideal ``|V|/k`` size by this fraction."""
+
+
+def hash_shard(node: NodeId, num_shards: int) -> int:
+    """Stable home shard of ``node``: ``sha1(repr(node)) mod k``.
+
+    Uses sha1 over the canonical ``repr`` (like the query fingerprints)
+    rather than Python's randomised ``hash``, so placement agrees across
+    machines and worker processes.
+    """
+    digest = hashlib.sha1(repr(node).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+@dataclass
+class Partition:
+    """A node → shard assignment plus its boundary and cut statistics.
+
+    ``boundary[s]`` holds shard ``s``'s *boundary nodes*: core nodes with at
+    least one edge (either direction) crossing into another shard.  These
+    are the only nodes through which a path can leave a shard, which is what
+    the boundary graph condenses.  ``cut_edges`` counts directed edges whose
+    endpoints live in different shards.
+    """
+
+    num_shards: int
+    method: str
+    seed: int
+    assignment: Dict[NodeId, int] = field(default_factory=dict)
+    boundary: Dict[int, Set[NodeId]] = field(default_factory=dict)
+    cut_edges: int = 0
+    total_edges: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def shard_of(self, node: NodeId) -> Optional[int]:
+        """Home shard of ``node`` (``None`` for unknown nodes)."""
+        return self.assignment.get(node)
+
+    def assign(self, node: NodeId, shard: Optional[int] = None) -> int:
+        """Record a (new) node's home shard; defaults to the hash rule."""
+        resolved = hash_shard(node, self.num_shards) if shard is None else shard
+        if not 0 <= resolved < self.num_shards:
+            raise ShardError(f"shard {resolved} out of range for k={self.num_shards}")
+        self.assignment[node] = resolved
+        return resolved
+
+    def forget(self, node: NodeId) -> None:
+        """Drop a removed node from the assignment and boundary sets."""
+        self.assignment.pop(node, None)
+        for members in self.boundary.values():
+            members.discard(node)
+
+    def nodes_of(self, shard: int) -> List[NodeId]:
+        """Core nodes of ``shard``, in assignment (= graph) order."""
+        return [node for node, owner in self.assignment.items() if owner == shard]
+
+    def shard_sizes(self) -> List[int]:
+        """Core node count per shard."""
+        sizes = [0] * self.num_shards
+        for owner in self.assignment.values():
+            sizes[owner] += 1
+        return sizes
+
+    def cut_fraction(self) -> float:
+        """Cut edges as a fraction of all edges (0.0 on edgeless graphs)."""
+        if self.total_edges == 0:
+            return 0.0
+        return self.cut_edges / self.total_edges
+
+    def boundary_fraction(self) -> float:
+        """Boundary nodes as a fraction of all assigned nodes."""
+        if not self.assignment:
+            return 0.0
+        return sum(len(members) for members in self.boundary.values()) / len(self.assignment)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> dict:
+        """A JSON-serialisable form (node ids must be JSON scalars).
+
+        The assignment is stored as ``[node, shard]`` pairs in iteration
+        order, so a round trip preserves the order the shard builders rely
+        on.  Boundary/cut statistics are derived data but kept so a loaded
+        partition reports without re-touching the graph.
+        """
+        return {
+            "num_shards": self.num_shards,
+            "method": self.method,
+            "seed": self.seed,
+            "assignment": [[node, owner] for node, owner in self.assignment.items()],
+            "boundary": {
+                str(shard): sorted(members, key=repr)
+                for shard, members in self.boundary.items()
+            },
+            "cut_edges": self.cut_edges,
+            "total_edges": self.total_edges,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Partition":
+        """Rebuild a partition from :meth:`to_payload` output."""
+        try:
+            partition = cls(
+                num_shards=int(payload["num_shards"]),
+                method=str(payload["method"]),
+                seed=int(payload["seed"]),
+                assignment={node: int(owner) for node, owner in payload["assignment"]},
+                boundary={
+                    int(shard): set(members)
+                    for shard, members in payload.get("boundary", {}).items()
+                },
+                cut_edges=int(payload.get("cut_edges", 0)),
+                total_edges=int(payload.get("total_edges", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ShardError(f"malformed partition payload: {error}") from error
+        return partition
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string (see :meth:`to_payload` for caveats)."""
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Partition":
+        """Parse a partition previously produced by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ShardError(f"partition JSON is malformed: {error}") from error
+        return cls.from_payload(payload)
+
+
+def _finalize(
+    graph: GraphLike, assignment: Dict[NodeId, int], num_shards: int, method: str, seed: int
+) -> Partition:
+    """Derive boundary sets and cut statistics from a complete assignment."""
+    partition = Partition(
+        num_shards=num_shards, method=method, seed=seed, assignment=assignment
+    )
+    partition.boundary = {shard: set() for shard in range(num_shards)}
+    cut = 0
+    total = 0
+    for source in graph.nodes():
+        owner = assignment[source]
+        for target in graph.successors(source):
+            total += 1
+            other = assignment[target]
+            if other != owner:
+                cut += 1
+                partition.boundary[owner].add(source)
+                partition.boundary[other].add(target)
+    partition.cut_edges = cut
+    partition.total_edges = total
+    return partition
+
+
+def hash_partition(graph: GraphLike, num_shards: int, seed: int = 0) -> Partition:
+    """The deterministic hash baseline (structure-oblivious placement)."""
+    if num_shards < 1:
+        raise ShardError(f"num_shards must be >= 1, got {num_shards}")
+    assignment = (
+        {node: 0 for node in graph.nodes()}
+        if num_shards == 1
+        else {node: hash_shard(node, num_shards) for node in graph.nodes()}
+    )
+    return _finalize(graph, assignment, num_shards, HASH, seed)
+
+
+def _pick_seeds(graph: GraphLike, nodes: Sequence[NodeId], k: int, rng: random.Random) -> List[NodeId]:
+    """``k`` growth seeds: the top-degree node plus spread random picks.
+
+    The first seed anchors the densest region; the rest are uniform draws
+    (deduplicated deterministically) so regions start in distinct parts of
+    the graph without paying an all-pairs distance computation.
+    """
+    best = max(nodes, key=lambda node: (graph.degree(node), repr(node)))
+    seeds: List[NodeId] = [best]
+    chosen = {best}
+    attempts = 0
+    while len(seeds) < k and attempts < 50 * k:
+        attempts += 1
+        candidate = rng.choice(nodes)
+        if candidate not in chosen:
+            chosen.add(candidate)
+            seeds.append(candidate)
+    for node in nodes:  # fallback when the graph is tiny relative to k
+        if len(seeds) >= k:
+            break
+        if node not in chosen:
+            chosen.add(node)
+            seeds.append(node)
+    return seeds
+
+
+def greedy_partition(graph: GraphLike, num_shards: int, seed: int = 0) -> Partition:
+    """Seeded BFS-grown greedy edge-cut minimiser.
+
+    Phase 1 grows ``k`` breadth-first regions round-robin from seed nodes
+    under a ``(1 + slack)·|V|/k`` balance cap; each turn the shard claims,
+    from a bounded window of its frontier, the candidate with the highest
+    ``(neighbours already in this shard) - (neighbours in other shards)``
+    pull — the classic greedy cut heuristic.  Unreached nodes (other weak
+    components) fall to the smallest shard.  Phase 2 runs
+    ``REFINEMENT_PASSES`` boundary sweeps moving a node to the neighbouring
+    shard with the largest strict cut gain that keeps balance.
+    """
+    if num_shards < 1:
+        raise ShardError(f"num_shards must be >= 1, got {num_shards}")
+    nodes = list(graph.nodes())
+    if not nodes:
+        raise ShardError("cannot partition an empty graph")
+    if num_shards == 1:
+        return _finalize(graph, {node: 0 for node in nodes}, 1, GREEDY, seed)
+    if num_shards > len(nodes):
+        raise ShardError(
+            f"num_shards={num_shards} exceeds the graph's {len(nodes)} nodes"
+        )
+
+    rng = random.Random(seed)
+    capacity = math.ceil(len(nodes) / num_shards * (1.0 + BALANCE_SLACK))
+    seeds = _pick_seeds(graph, nodes, num_shards, rng)
+
+    assignment: Dict[NodeId, int] = {}
+    frontiers: List[deque] = [deque() for _ in range(num_shards)]
+    sizes = [0] * num_shards
+
+    def claim(node: NodeId, shard: int) -> None:
+        assignment[node] = shard
+        sizes[shard] += 1
+        for neighbor in list(graph.successors(node)) + list(graph.predecessors(node)):
+            if neighbor not in assignment:
+                frontiers[shard].append(neighbor)
+
+    for shard, node in enumerate(seeds):
+        if node not in assignment:
+            claim(node, shard)
+
+    # Window of frontier candidates scored per turn: wide enough to find a
+    # well-connected claim, narrow enough to keep each turn O(window·deg).
+    window = 8
+    active = True
+    while active:
+        active = False
+        for shard in range(num_shards):
+            if sizes[shard] >= capacity:
+                continue
+            frontier = frontiers[shard]
+            candidates: List[NodeId] = []
+            while frontier and len(candidates) < window:
+                node = frontier.popleft()
+                if node not in assignment and node not in candidates:
+                    candidates.append(node)
+            if not candidates:
+                continue
+            active = True
+
+            def pull(node: NodeId) -> int:
+                inside = outside = 0
+                for neighbor in graph.neighbors(node):
+                    owner = assignment.get(neighbor)
+                    if owner == shard:
+                        inside += 1
+                    elif owner is not None:
+                        outside += 1
+                return inside - outside
+
+            best = max(candidates, key=lambda node: (pull(node), -candidates.index(node)))
+            for node in candidates:
+                if node is not best:
+                    frontier.append(node)  # back of the queue, BFS-ish order kept
+            claim(best, shard)
+
+    for node in nodes:  # disconnected leftovers: smallest shard first
+        if node not in assignment:
+            shard = min(range(num_shards), key=lambda s: (sizes[s], s))
+            claim(node, shard)
+
+    _refine(graph, nodes, assignment, sizes, num_shards, capacity)
+
+    # Re-emit in graph node order so downstream shard builders see cores in
+    # the original iteration order (the k=1 parity contract relies on it).
+    ordered = {node: assignment[node] for node in nodes}
+    return _finalize(graph, ordered, num_shards, GREEDY, seed)
+
+
+def _refine(
+    graph: GraphLike,
+    nodes: Sequence[NodeId],
+    assignment: Dict[NodeId, int],
+    sizes: List[int],
+    num_shards: int,
+    capacity: int,
+) -> None:
+    """Greedy boundary refinement: strict-gain moves under the balance cap."""
+    for _ in range(REFINEMENT_PASSES):
+        moved = 0
+        for node in nodes:
+            owner = assignment[node]
+            if sizes[owner] <= 1:
+                continue
+            counts: Dict[int, int] = {}
+            for neighbor in graph.neighbors(node):
+                shard = assignment[neighbor]
+                counts[shard] = counts.get(shard, 0) + 1
+            home = counts.get(owner, 0)
+            best_shard, best_gain = owner, 0
+            for shard in sorted(counts):
+                if shard == owner or sizes[shard] >= capacity:
+                    continue
+                gain = counts[shard] - home
+                if gain > best_gain:
+                    best_shard, best_gain = shard, gain
+            if best_shard != owner:
+                assignment[node] = best_shard
+                sizes[owner] -= 1
+                sizes[best_shard] += 1
+                moved += 1
+        if not moved:
+            break
+
+
+def refresh_partition_statistics(graph: GraphLike, partition: Partition) -> Partition:
+    """Recompute boundary sets and cut statistics against ``graph``.
+
+    The assignment itself is left untouched (every graph node must already
+    be assigned); used after updates mutated the graph under an existing
+    assignment.
+    """
+    for node in graph.nodes():
+        if node not in partition.assignment:
+            raise ShardError(f"node {node!r} has no shard assignment")
+    refreshed = _finalize(
+        graph,
+        {node: partition.assignment[node] for node in graph.nodes()},
+        partition.num_shards,
+        partition.method,
+        partition.seed,
+    )
+    partition.assignment = refreshed.assignment
+    partition.boundary = refreshed.boundary
+    partition.cut_edges = refreshed.cut_edges
+    partition.total_edges = refreshed.total_edges
+    return partition
+
+
+def partition_graph(
+    graph: GraphLike, num_shards: int, method: str = GREEDY, seed: int = 0
+) -> Partition:
+    """Partition ``graph`` into ``num_shards`` shards with the chosen method."""
+    if method == HASH:
+        return hash_partition(graph, num_shards, seed=seed)
+    if method == GREEDY:
+        return greedy_partition(graph, num_shards, seed=seed)
+    raise ShardError(f"unknown partition method {method!r}; available: {', '.join(METHODS)}")
+
+
+__all__ = [
+    "BALANCE_SLACK",
+    "GREEDY",
+    "HASH",
+    "METHODS",
+    "Partition",
+    "greedy_partition",
+    "hash_partition",
+    "hash_shard",
+    "partition_graph",
+    "refresh_partition_statistics",
+]

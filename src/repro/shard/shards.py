@@ -1,0 +1,375 @@
+"""Per-shard serving graphs: induced subgraphs with halo (ghost) regions.
+
+Each shard serves the subgraph induced by its *core* nodes plus a ``halo`` —
+every node within :data:`DEFAULT_HALO_DEPTH` undirected hops of the core,
+with all edges among included nodes.  The halo is what lets a shard answer
+locally beyond its own border:
+
+* a core node's adjacency is always *complete* (its neighbours are halo
+  members at worst), so shard-local traversals through core nodes see
+  exactly the full graph's structure;
+* more generally, a node at distance ``d < halo_depth`` from the core has
+  complete adjacency, so anything a matcher reads within ``halo_depth - 1``
+  hops past the core agrees bit-for-bit with the full graph.
+
+The default depth of 3 is the exact margin the pattern matchers need: for a
+query whose ``d_Q``-ball lies inside the core, the dynamic reduction reads
+adjacency up to one hop past the ball (potential/cost estimation), degrees up
+to two hops past it (the isomorphism guard), and labels up to two hops past
+it (neighbourhood summaries) — all within the guaranteed-exact region, which
+is what makes shard-contained answers bit-identical to single-graph
+evaluation (property-tested in ``tests/test_shard.py``).
+
+Shard graphs are built as :class:`~repro.graph.csr.CSRGraph` directly from
+slices of the source adjacency, preserving *both* successor and predecessor
+iteration order (a ``DiGraph`` replay could only preserve one), so every
+order-sensitive heuristic downstream makes the same decisions it would make
+on the full graph.  At ``k = 1`` the construction reproduces
+``CSRGraph.from_digraph(graph)`` exactly — the bit-identical baseline the
+parity tests compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.engine import QueryEngine
+from repro.engine.prepared import PreparedGraph
+from repro.exceptions import ShardError
+from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.protocol import GraphLike
+from repro.shard.partition import Partition
+
+DEFAULT_HALO_DEPTH = 3
+"""Ghost-region depth; the minimum that preserves pattern-matcher reads
+(adjacency to ball+1, degrees and labels to ball+2) bit-exactly for
+core-contained balls."""
+
+
+def induced_order_preserving(source: GraphLike, ordered_nodes: Sequence[NodeId]) -> GraphLike:
+    """The subgraph induced by ``ordered_nodes``, both adjacency orders kept.
+
+    Built as a :class:`CSRGraph` whose successor *and* predecessor slices are
+    the source's slices filtered to included nodes — something a ``DiGraph``
+    edge replay cannot reproduce (one insertion sequence cannot realise two
+    independent orders).  Falls back to a ``DiGraph`` replay in source-major
+    order when numpy is unavailable (successor order still exact; predecessor
+    order then source-major, which weakens the bit-parity guarantee to
+    order-insensitive results).
+    """
+    try:
+        return _induced_csr(source, ordered_nodes)
+    except ImportError:  # pragma: no cover - numpy is normally available
+        return _induced_digraph(source, ordered_nodes)
+
+
+def _induced_csr(source: GraphLike, ordered_nodes: Sequence[NodeId]) -> GraphLike:
+    import numpy as np
+
+    from repro.graph.csr import CSRGraph
+
+    ids: List[NodeId] = list(ordered_nodes)
+    index = {node: i for i, node in enumerate(ids)}
+    n = len(ids)
+
+    label_table: List = []
+    label_index: Dict = {}
+    label_ids = np.empty(n, dtype=np.int64)
+    for i, node in enumerate(ids):
+        label = source.label(node)
+        lid = label_index.get(label)
+        if lid is None:
+            lid = len(label_table)
+            label_index[label] = lid
+            label_table.append(label)
+        label_ids[i] = lid
+
+    succ_lists: List[List[int]] = []
+    pred_lists: List[List[int]] = []
+    for node in ids:
+        succ_lists.append([index[t] for t in source.successors(node) if t in index])
+        pred_lists.append([index[s] for s in source.predecessors(node) if s in index])
+
+    edge_total = sum(len(values) for values in succ_lists)
+    succ_indptr = np.zeros(n + 1, dtype=np.int64)
+    pred_indptr = np.zeros(n + 1, dtype=np.int64)
+    degrees = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        succ_indptr[i + 1] = succ_indptr[i] + len(succ_lists[i])
+        pred_indptr[i + 1] = pred_indptr[i] + len(pred_lists[i])
+        degrees[i] = len(set(succ_lists[i]) | set(pred_lists[i]))
+    empty = np.empty(0, dtype=np.int64)
+    succ_indices = (
+        np.fromiter((t for targets in succ_lists for t in targets), dtype=np.int64, count=edge_total)
+        if edge_total
+        else empty
+    )
+    pred_indices = (
+        np.fromiter((s for sources in pred_lists for s in sources), dtype=np.int64, count=edge_total)
+        if edge_total
+        else empty.copy()
+    )
+    return CSRGraph(
+        ids,
+        label_table,
+        label_ids,
+        succ_indptr,
+        succ_indices,
+        pred_indptr,
+        pred_indices,
+        degrees,
+    )
+
+
+def _induced_digraph(source: GraphLike, ordered_nodes: Sequence[NodeId]) -> DiGraph:
+    included = set(ordered_nodes)
+    result = DiGraph()
+    for node in ordered_nodes:
+        result.add_node(node, source.label(node))
+    for node in ordered_nodes:
+        for target in source.successors(node):
+            if target in included:
+                result.add_edge(node, target)
+    return result
+
+
+def collect_halo(
+    graph: GraphLike, core_list: Sequence[NodeId], core: Set[NodeId], depth: int
+) -> List[NodeId]:
+    """Nodes within ``depth`` undirected hops of the core, in discovery order.
+
+    Level-synchronous BFS seeded from the core in its stored order, expanding
+    successors before predecessors — every tie is broken by a stored
+    iteration order, so the halo (and therefore the shard graph's node
+    order) is deterministic.
+    """
+    seen = set(core)
+    halo: List[NodeId] = []
+    frontier: List[NodeId] = list(core_list)
+    for _ in range(depth):
+        next_frontier: List[NodeId] = []
+        for node in frontier:
+            for neighbor in list(graph.successors(node)) + list(graph.predecessors(node)):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    halo.append(neighbor)
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return halo
+
+
+@dataclass
+class GraphShard:
+    """One shard's serving state: graph, membership sets and query engine."""
+
+    shard_id: int
+    graph: GraphLike
+    core: Set[NodeId]
+    core_list: List[NodeId]
+    halo: Set[NodeId]
+    engine: QueryEngine
+    core_size: int
+    node_set: Set[NodeId] = field(default_factory=set)
+
+    @property
+    def prepared(self) -> PreparedGraph:
+        """The shard's prepared state (read-only by convention)."""
+        return self.engine.prepared
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.node_set
+
+    def ball_in_core(self, node: NodeId, radius: int) -> bool:
+        """Whether the undirected ``radius``-ball around ``node`` stays in core.
+
+        Computed on the shard graph, which is exact: as long as every visited
+        node is core its adjacency is complete, so the shard-local ball
+        equals the full-graph ball level by level; the first halo node
+        encountered proves the full-graph ball escapes the core too.
+        """
+        if node not in self.core:
+            return False
+        graph = self.graph
+        seen = {node}
+        frontier = [node]
+        for _ in range(radius):
+            next_frontier: List[NodeId] = []
+            for current in frontier:
+                for neighbor in list(graph.successors(current)) + list(graph.predecessors(current)):
+                    if neighbor in seen:
+                        continue
+                    if neighbor not in self.core:
+                        return False
+                    seen.add(neighbor)
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return True
+
+    def refresh_core_size(self) -> int:
+        """Recompute ``|V_core| + out-edges(core)`` from the current substrate.
+
+        Every out-edge of a core node is present in the shard graph (its
+        target is halo at worst), so the scan is exact; cut edges are owned
+        by their *source* shard, which makes the per-shard sizes sum to
+        ``|G|`` across the fleet.
+        """
+        graph = self.prepared.graph
+        self.core_size = len(self.core) + sum(graph.out_degree(node) for node in self.core_list)
+        return self.core_size
+
+
+def shard_core_size(graph: GraphLike, core_list: Sequence[NodeId]) -> int:
+    """``|V_core|`` plus out-edges of core nodes (cut edges owned by source)."""
+    return len(core_list) + sum(graph.out_degree(node) for node in core_list)
+
+
+def build_shard(
+    graph: GraphLike,
+    partition: Partition,
+    shard_id: int,
+    halo_depth: int = DEFAULT_HALO_DEPTH,
+    cache_size: int = 0,
+    global_size: Optional[int] = None,
+    visit_coefficient: Optional[float] = None,
+) -> GraphShard:
+    """Build one shard's serving graph and engine from the source graph.
+
+    With ``k = 1`` the budget overrides stay unset so the shard engine is
+    *exactly* a single-graph :class:`QueryEngine` (live sizes, same CSR) —
+    the reference point of the parity contract.  With ``k > 1`` the RBReach
+    budget is pinned to the shard's share of ``α·|G|`` and the pattern
+    budget to the global graph's parameters.
+    """
+    if halo_depth < 1:
+        raise ShardError("halo_depth must be >= 1 (cut edges live in the halo)")
+    core_list = [node for node in graph.nodes() if partition.assignment.get(node) == shard_id]
+    core = set(core_list)
+    halo_list = collect_halo(graph, core_list, core, halo_depth) if partition.num_shards > 1 else []
+    ordered = core_list + halo_list
+    shard_graph = induced_order_preserving(graph, ordered)
+    core_size = shard_core_size(graph, core_list)
+    single = partition.num_shards == 1
+    prepared = PreparedGraph(
+        shard_graph,
+        mirror="never",
+        reach_reference_size=None if single else core_size,
+        pattern_reference_size=None if single else global_size,
+        pattern_visit_coefficient=None if single else visit_coefficient,
+    )
+    return GraphShard(
+        shard_id=shard_id,
+        graph=shard_graph,
+        core=core,
+        core_list=core_list,
+        halo=set(halo_list),
+        engine=QueryEngine(prepared=prepared, cache_size=cache_size),
+        core_size=core_size,
+        node_set=set(ordered),
+    )
+
+
+def build_shards(
+    graph: GraphLike,
+    partition: Partition,
+    halo_depth: int = DEFAULT_HALO_DEPTH,
+    cache_size: int = 0,
+) -> Dict[int, GraphShard]:
+    """Build every shard of ``partition`` over ``graph``."""
+    global_size = graph.size()
+    visit_coefficient = float(max(1, graph.max_degree()))
+    return {
+        shard_id: build_shard(
+            graph,
+            partition,
+            shard_id,
+            halo_depth=halo_depth,
+            cache_size=cache_size,
+            global_size=global_size,
+            visit_coefficient=visit_coefficient,
+        )
+        for shard_id in range(partition.num_shards)
+    }
+
+
+class MultiShardView:
+    """Read-only adjacency view stitched from shard graphs (no full graph).
+
+    Resolves every node through its *owner* shard, whose core adjacency is
+    complete — so the view agrees with the full graph on any node it can
+    resolve.  Used by the sharded engine to assemble the evaluation region
+    of a spilled pattern query from shard fragments.
+    """
+
+    def __init__(self, shards: Dict[int, GraphShard], partition: Partition):
+        self._shards = shards
+        self._partition = partition
+
+    def _owner(self, node: NodeId) -> GraphShard:
+        shard_id = self._partition.shard_of(node)
+        if shard_id is None:
+            raise ShardError(f"node {node!r} has no home shard")
+        return self._shards[shard_id]
+
+    def label(self, node: NodeId):
+        """Label from the owner shard (exact for every assigned node)."""
+        return self._owner(node).graph.label(node)
+
+    def successors(self, node: NodeId):
+        """Owner-shard successor view (complete and order-exact for cores)."""
+        return self._owner(node).graph.successors(node)
+
+    def predecessors(self, node: NodeId):
+        """Owner-shard predecessor view (complete and order-exact for cores)."""
+        return self._owner(node).graph.predecessors(node)
+
+
+def assemble_region(
+    shards: Dict[int, GraphShard],
+    partition: Partition,
+    center: NodeId,
+    radius: int,
+) -> Tuple[GraphLike, int]:
+    """Materialise the undirected ``radius``-ball around ``center`` from shards.
+
+    A multi-shard BFS walks owner-shard adjacency (each hop resolved by the
+    node's home shard, where its adjacency is complete), so the assembled
+    region agrees with the full graph without the full graph ever existing
+    in one place.  Returns the induced, order-preserving region graph plus
+    the number of distinct shards touched.
+    """
+    view = MultiShardView(shards, partition)
+    ordered: List[NodeId] = [center]
+    seen = {center}
+    touched = {partition.shard_of(center)}
+    frontier = [center]
+    for _ in range(radius):
+        next_frontier: List[NodeId] = []
+        for node in frontier:
+            for neighbor in list(view.successors(node)) + list(view.predecessors(node)):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    ordered.append(neighbor)
+                    next_frontier.append(neighbor)
+                    touched.add(partition.shard_of(neighbor))
+        frontier = next_frontier
+        if not frontier:
+            break
+    return induced_order_preserving(view, ordered), len(touched)
+
+
+__all__ = [
+    "DEFAULT_HALO_DEPTH",
+    "GraphShard",
+    "MultiShardView",
+    "assemble_region",
+    "build_shard",
+    "build_shards",
+    "collect_halo",
+    "induced_order_preserving",
+    "shard_core_size",
+]

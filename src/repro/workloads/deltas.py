@@ -18,13 +18,20 @@ churn patterns streaming-graph systems distinguish:
 Generation is driven entirely by one ``random.Random(seed)`` and a working
 copy of the graph, so the same seed yields the identical stream on every
 machine — the property the update benchmark and CI gate rely on.
+
+``confine_nodes`` restricts every sampled endpoint (attachment targets,
+rewired edges, removal victims) to the given node set — newcomers join it —
+which confines the churn to one region of the graph.  The sharded serving
+layer uses this for locality experiments: churn confined to one shard's
+core flows through that shard's incremental update path, while unconfined
+churn exercises cross-shard rebuild routing.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterator, List
+from typing import Collection, Iterator, List, Optional
 
 from repro.exceptions import WorkloadError
 from repro.graph.digraph import DiGraph, NodeId
@@ -72,6 +79,7 @@ def generate_delta_stream(
     mix: str = "growth",
     seed: int = 0,
     node_removal_rate: float = 0.0,
+    confine_nodes: Optional[Collection[NodeId]] = None,
 ) -> DeltaStream:
     """Generate ``batches`` deltas of ``ops_per_batch`` ops each.
 
@@ -80,6 +88,9 @@ def generate_delta_stream(
     or ``GraphDelta.apply_to`` never raises.  ``node_removal_rate`` mixes in
     node removals (which force the engine onto its full-rebuild path); the
     default stream is removal-free, matching edge-churn workloads.
+    ``confine_nodes`` restricts all endpoint sampling to the given subset of
+    the graph (see the module docstring) — the same seed still yields the
+    identical stream for the identical confinement set.
     """
     if mix not in MIXES:
         raise WorkloadError(f"unknown delta mix {mix!r}; available: {', '.join(MIXES)}")
@@ -93,6 +104,20 @@ def generate_delta_stream(
     if working.num_nodes() < 2:
         raise WorkloadError("graph too small for a delta stream")
     nodes: List[NodeId] = list(working.nodes())
+    confined: Optional[set] = None
+    if confine_nodes is not None:
+        confined = set(confine_nodes)
+        present = [node for node in nodes if node in confined]
+        if len(present) < 2:
+            raise WorkloadError("confine_nodes must name at least 2 graph nodes")
+        unknown = confined - set(nodes)
+        if unknown:
+            raise WorkloadError(
+                f"confine_nodes references {len(unknown)} node(s) not in the graph"
+            )
+        # Keep the pool in graph iteration order so the stream is a pure
+        # function of (graph, confinement set, seed).
+        nodes = present
     newcomers: List[NodeId] = []
     recent_edges: List = []
     fresh_serial = 0
@@ -149,6 +174,8 @@ def generate_delta_stream(
                     recent_edges.append((newcomer, target))
                     newcomers.append(newcomer)
                     nodes.append(newcomer)
+                    if confined is not None:
+                        confined.add(newcomer)
                 elif newcomers and roll < 0.85:
                     source = rng.choice(newcomers)
                     target = growth_target()
@@ -173,6 +200,12 @@ def generate_delta_stream(
                     for _ in range(16):
                         source = rng.choice(nodes)
                         successors = list(working.successors(source))
+                        if confined is not None:
+                            # Both endpoints must stay inside the pool, or the
+                            # removal would name a node outside the confinement.
+                            successors = [
+                                target for target in successors if target in confined
+                            ]
                         if successors:
                             target = rng.choice(successors)
                             delta.remove_edge(source, target)

@@ -1,0 +1,157 @@
+"""Behavioural tests for ``tools/bench_report.py`` (the CI regression gate).
+
+Suites are stubbed out so these tests exercise the *gate machinery* —
+baseline bootstrap via ``--update``, regression detection, actionable
+errors on unusable baselines — without running any real benchmark.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture()
+def bench_report():
+    spec = importlib.util.spec_from_file_location(
+        "bench_report_under_test", ROOT / "tools" / "bench_report.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    try:
+        yield module
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.fixture()
+def stub_suite(bench_report, monkeypatch):
+    def fake_suite():
+        return {
+            "suite": "fake",
+            "schema_version": 1,
+            "environment": {},
+            "config": {},
+            "metrics": {"speedup": 3.0, "witness": 1},
+            "gates": {"speedup": "higher", "witness": "higher"},
+        }
+
+    monkeypatch.setattr(bench_report, "SUITES", {"fake": fake_suite})
+    return fake_suite
+
+
+def _dirs(tmp_path):
+    return tmp_path / "reports", tmp_path / "baselines"
+
+
+def test_update_creates_a_missing_baseline(bench_report, stub_suite, tmp_path):
+    """--update must bootstrap a baseline that does not exist yet."""
+    output_dir, baseline_dir = _dirs(tmp_path)
+    code = bench_report.main(
+        [
+            "--suite",
+            "fake",
+            "--update",
+            "--output-dir",
+            str(output_dir),
+            "--baseline-dir",
+            str(baseline_dir),
+        ]
+    )
+    assert code == 0
+    baseline_path = baseline_dir / "BENCH_fake.json"
+    assert baseline_path.exists()
+    payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert payload["metrics"]["speedup"] == 3.0
+    assert payload["gates"] == {"speedup": "higher", "witness": "higher"}
+
+
+def test_update_only_relaxes_gated_floors(bench_report, stub_suite, tmp_path):
+    output_dir, baseline_dir = _dirs(tmp_path)
+    baseline_dir.mkdir(parents=True)
+    committed = {
+        "suite": "fake",
+        "metrics": {"speedup": 2.0, "witness": 1},
+        "gates": {"speedup": "higher", "witness": "higher"},
+        "note": "hand-tuned",
+    }
+    (baseline_dir / "BENCH_fake.json").write_text(json.dumps(committed), encoding="utf-8")
+    code = bench_report.main(
+        [
+            "--suite",
+            "fake",
+            "--update",
+            "--output-dir",
+            str(output_dir),
+            "--baseline-dir",
+            str(baseline_dir),
+        ]
+    )
+    assert code == 0
+    payload = json.loads((baseline_dir / "BENCH_fake.json").read_text(encoding="utf-8"))
+    # The fresh 3.0 must not raise the committed 2.0 floor; the note survives.
+    assert payload["metrics"]["speedup"] == 2.0
+    assert payload["note"] == "hand-tuned"
+
+
+def test_check_fails_without_baseline_and_names_the_fix(
+    bench_report, stub_suite, tmp_path, capsys
+):
+    output_dir, baseline_dir = _dirs(tmp_path)
+    code = bench_report.main(
+        [
+            "--suite",
+            "fake",
+            "--check",
+            "--output-dir",
+            str(output_dir),
+            "--baseline-dir",
+            str(baseline_dir),
+        ]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "no committed baseline" in out
+    assert "--update" in out
+
+
+def test_check_detects_regression(bench_report, stub_suite, tmp_path, capsys):
+    output_dir, baseline_dir = _dirs(tmp_path)
+    baseline_dir.mkdir(parents=True)
+    committed = {
+        "suite": "fake",
+        "metrics": {"speedup": 10.0, "witness": 1},
+        "gates": {"speedup": "higher", "witness": "higher"},
+    }
+    (baseline_dir / "BENCH_fake.json").write_text(json.dumps(committed), encoding="utf-8")
+    code = bench_report.main(
+        [
+            "--suite",
+            "fake",
+            "--check",
+            "--output-dir",
+            str(output_dir),
+            "--baseline-dir",
+            str(baseline_dir),
+        ]
+    )
+    assert code == 1
+    assert "fake.speedup" in capsys.readouterr().out
+
+
+def test_shard_suite_is_registered():
+    spec = importlib.util.spec_from_file_location(
+        "bench_report_registry_check", ROOT / "tools" / "bench_report.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert set(module.SUITES) == {"engine", "backend", "updates", "shard"}
+    for name in module.SUITES:
+        assert (ROOT / "benchmarks" / "baselines" / f"BENCH_{name}.json").exists()

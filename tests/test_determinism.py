@@ -19,6 +19,7 @@ from pathlib import Path
 
 from repro.graph.generators import preferential_attachment_graph
 from repro.patterns.generator import embedded_pattern, random_pattern
+from repro.shard import Partition, greedy_partition, hash_partition
 from repro.workloads.queries import (
     generate_pattern_workload,
     generate_reachability_workload,
@@ -121,3 +122,79 @@ class TestCrossProcessFingerprints:
         local = reachability_fingerprint(("node", 3), "target")
         assert self._fingerprint_in_subprocess("1") == local
         assert self._fingerprint_in_subprocess("2") == local
+
+
+class TestPartitionerDeterminism:
+    """Same seed ⇒ identical shard assignment, in- and across processes.
+
+    The sharded engine ships per-shard prepared state to worker processes
+    and serialises partitions to disk; both rely on the partitioners being
+    pure functions of ``(graph, k, seed)`` with no dependence on Python's
+    randomised ``hash``.
+    """
+
+    # One assignment digest per (method, hash seed) is computed in a child
+    # interpreter over the same generated graph and compared to the parent's.
+    _CODE = (
+        "import hashlib;"
+        "from repro.graph.generators import preferential_attachment_graph;"
+        "from repro.shard import greedy_partition, hash_partition;"
+        "g = preferential_attachment_graph(num_nodes=300, edges_per_node=2, seed=5,"
+        " back_edge_probability=0.1);"
+        "p = {method}(g, 4, seed=9);"
+        "print(hashlib.sha1(repr(sorted((repr(n), s) for n, s in"
+        " p.assignment.items())).encode()).hexdigest())"
+    )
+
+    def _digest_in_subprocess(self, method: str, hash_seed: str) -> str:
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=SRC)
+        return subprocess.run(
+            [sys.executable, "-c", self._CODE.format(method=method)],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+        ).stdout.strip()
+
+    @staticmethod
+    def _digest(partition) -> str:
+        import hashlib
+
+        return hashlib.sha1(
+            repr(sorted((repr(n), s) for n, s in partition.assignment.items())).encode()
+        ).hexdigest()
+
+    def test_same_seed_identical_in_process(self):
+        graph = _graph()
+        first = greedy_partition(graph, 4, seed=9)
+        second = greedy_partition(graph, 4, seed=9)
+        assert first.assignment == second.assignment
+        assert first.boundary == second.boundary
+        assert hash_partition(graph, 4).assignment == hash_partition(graph, 4).assignment
+
+    def test_different_seeds_differ(self):
+        graph = _graph()
+        first = greedy_partition(graph, 4, seed=1)
+        second = greedy_partition(graph, 4, seed=2)
+        assert first.assignment != second.assignment
+
+    def test_assignment_survives_hash_randomisation(self):
+        graph = _graph()
+        for method, build in (("greedy_partition", greedy_partition), ("hash_partition", hash_partition)):
+            local = self._digest(build(graph, 4, seed=9))
+            assert self._digest_in_subprocess(method, "1") == local
+            assert self._digest_in_subprocess(method, "2") == local
+
+    def test_partition_round_trips_through_serialisation(self):
+        graph = _graph()
+        partition = greedy_partition(graph, 4, seed=9)
+        loaded = Partition.from_json(partition.to_json())
+        assert loaded.assignment == partition.assignment
+        assert loaded.boundary == partition.boundary
+        assert loaded.num_shards == partition.num_shards
+        assert loaded.method == partition.method
+        assert loaded.seed == partition.seed
+        assert loaded.cut_edges == partition.cut_edges
+        assert loaded.total_edges == partition.total_edges
+        # Serialisation is itself deterministic (sorted keys, ordered pairs).
+        assert loaded.to_json() == partition.to_json()

@@ -1,22 +1,27 @@
 #!/usr/bin/env python
 """Machine-readable benchmark reports plus the CI regression gate.
 
-Runs three quick smoke suites and writes one JSON report each:
+Runs four quick smoke suites and writes one JSON report each:
 
 * ``BENCH_engine.json`` — the batched query engine: serial vs process-pool
   throughput on an RBReach batch, parallel speedup, LRU-cache behaviour;
 * ``BENCH_backend.json`` — DiGraph vs CSRGraph on the BFS-heavy traversal
   suite and the end-to-end RBReach experiment loop;
 * ``BENCH_updates.json`` — incremental ``QueryEngine.update`` vs a full
-  re-prepare on ≤1% delta batches, plus update throughput.
+  re-prepare on ≤1% delta batches, plus update throughput;
+* ``BENCH_shard.json`` — the sharded serving layer: contract witnesses
+  (never-false-positive, k=1 bit-parity), greedy-vs-hash cut quality and
+  scatter–gather throughput vs the unsharded engine.
 
 Each report carries a ``gates`` table naming the metrics CI guards.  Gated
-metrics are deliberately *relative* (speedups, hit rates): they transfer
-across runner generations, unlike absolute wall times, which are recorded
-for information only.  ``--check`` compares the fresh numbers against the
-committed baselines in ``benchmarks/baselines/`` and fails when any gated
-metric regresses by more than ``--tolerance`` (default 30%).  After an
-intentional performance change, refresh the baselines with ``--update``.
+metrics are deliberately *relative* (speedups, hit rates, 0/1 correctness
+witnesses): they transfer across runner generations, unlike absolute wall
+times, which are recorded for information only.  ``--check`` compares the
+fresh numbers against the committed baselines in ``benchmarks/baselines/``
+and fails when any gated metric regresses by more than ``--tolerance``
+(default 30%).  After an intentional performance change, refresh the
+baselines with ``--update`` — which also *creates* a baseline file that
+does not exist yet (the bootstrap path for a newly registered suite).
 
 Usage:
     python tools/bench_report.py                 # run suites, write reports
@@ -251,7 +256,60 @@ def updates_suite() -> dict:
     }
 
 
-SUITES = {"engine": engine_suite, "backend": backend_suite, "updates": updates_suite}
+def shard_suite() -> dict:
+    """Sharded scatter–gather serving vs the single-graph engine."""
+    import sys as _sys
+
+    bench_dir = str(ROOT / "benchmarks")
+    if bench_dir not in _sys.path:
+        _sys.path.insert(0, bench_dir)
+    from bench_shard_scatter import measure_shard_scatter
+
+    metrics = measure_shard_scatter(seed=SEED)
+    return {
+        "suite": "shard",
+        "schema_version": 1,
+        "environment": _environment(),
+        "config": {
+            "dataset": metrics["dataset"],
+            "alpha": metrics["alpha"],
+            "num_shards": metrics["num_shards"],
+            "queries": metrics["queries"],
+        },
+        "metrics": {
+            "greedy_cut_fraction": metrics["greedy_cut_fraction"],
+            "hash_cut_fraction": metrics["hash_cut_fraction"],
+            "cut_improvement": metrics["cut_improvement"],
+            "same_shard_fraction": metrics["same_shard_fraction"],
+            "spillover_fraction": metrics["spillover_fraction"],
+            "unsharded_qps": metrics["unsharded_qps"],
+            "sharded_serial_qps": metrics["sharded_serial_qps"],
+            "sharded_process_qps": metrics["sharded_process_qps"],
+            "sharded_serial_speedup": metrics["sharded_serial_speedup"],
+            "shard_speedup": metrics["shard_speedup"],
+            "k1_parity": metrics["k1_parity"],
+            "no_false_positives": metrics["no_false_positives"],
+        },
+        # The two 0/1 witnesses are hard correctness gates (any drop fails at
+        # every tolerance); cut_improvement and the *serial* shard speedup
+        # are relative and runner-independent.  The process-pool speedup is
+        # informational only — it depends on the runner's core count, which
+        # bench_shard_scatter gates separately (with a skip below 4 cores).
+        "gates": {
+            "no_false_positives": "higher",
+            "k1_parity": "higher",
+            "cut_improvement": "higher",
+            "sharded_serial_speedup": "higher",
+        },
+    }
+
+
+SUITES = {
+    "engine": engine_suite,
+    "backend": backend_suite,
+    "updates": updates_suite,
+    "shard": shard_suite,
+}
 
 
 # --------------------------------------------------------------------------- #
