@@ -17,7 +17,15 @@ Resources"* (Fan, Wang & Wu, SIGMOD 2014).  The package provides:
   workloads and the drivers that regenerate every table and figure of the
   paper's evaluation section.
 
-Quickstart::
+Quickstart (serving)::
+
+    from repro import GraphService, ReachRequest, ServiceConfig
+
+    with GraphService.open("youtube-small", ServiceConfig(alpha=0.02)) as service:
+        report = service.run_batch([ReachRequest(4, 17), ReachRequest(3, 99)])
+        print(report.plan.backend, [a.reachable for a in report.answers])
+
+Quickstart (paper algorithms)::
 
     from repro import RBSim, youtube_like, generate_pattern_workload
 
@@ -27,7 +35,16 @@ Quickstart::
     for query in workload:
         answer = matcher.answer(query.pattern, query.personalized_match)
         print(query.shape, len(answer.answer), answer.subgraph_size)
+
+Deprecated top-level serving aliases (``ShardedEngine``, ``Partition``,
+``partition_graph``) keep working for one release but emit a
+``DeprecationWarning`` — serve through :class:`repro.service.GraphService`,
+or import the low-level machinery from :mod:`repro.shard` /
+:mod:`repro.engine` directly.  See ``docs/MIGRATION.md``.
 """
+
+import importlib
+import warnings
 
 from repro.core import (
     AccuracyReport,
@@ -53,7 +70,14 @@ from repro.reachability import (
     compress,
     rbreach,
 )
-from repro.shard import Partition, ShardedEngine, partition_graph
+from repro.service import (
+    GraphService,
+    PatternRequest,
+    ReachRequest,
+    ServiceAnswer,
+    ServiceConfig,
+    ServiceStats,
+)
 from repro.workloads import (
     generate_pattern_workload,
     generate_reachability_workload,
@@ -95,6 +119,12 @@ __all__ = [
     "build_index",
     "compress",
     "rbreach",
+    "GraphService",
+    "PatternRequest",
+    "ReachRequest",
+    "ServiceAnswer",
+    "ServiceConfig",
+    "ServiceStats",
     "Partition",
     "ShardedEngine",
     "partition_graph",
@@ -106,3 +136,26 @@ __all__ = [
     "yahoo_like",
     "youtube_like",
 ]
+
+#: Old top-level serving entry points, kept as lazy deprecation shims for
+#: one release: accessing ``repro.<name>`` works but warns, pointing at the
+#: GraphService façade (low-level imports from ``repro.shard`` stay silent).
+_DEPRECATED_SERVING = {
+    "ShardedEngine": "repro.shard",
+    "Partition": "repro.shard",
+    "partition_graph": "repro.shard",
+}
+
+
+def __getattr__(name: str):
+    module_name = _DEPRECATED_SERVING.get(name)
+    if module_name is not None:
+        warnings.warn(
+            f"repro.{name} is deprecated and will be removed in the next release; "
+            f"serve through repro.service.GraphService, or import {name} from "
+            f"{module_name} for the low-level API (see docs/MIGRATION.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module_name), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

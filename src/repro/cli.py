@@ -1,5 +1,13 @@
 """Command-line interface: ``repro-bench`` / ``python -m repro``.
 
+Every serving command constructs its engines through the
+:class:`~repro.service.GraphService` façade — one configuration surface
+(:class:`~repro.service.ServiceConfig`), one planner, one set of flags.
+``--alpha``/``--executor``/``--workers`` are uniform across ``run``,
+``batch``, ``update`` and ``shard``: same names, defaults and validation,
+sourced from the shared argparse parent
+(:func:`repro.service.service_flag_parent`).
+
 Subcommands
 -----------
 ``list``
@@ -7,38 +15,35 @@ Subcommands
 ``run EXPERIMENT [...]``
     Run one or more experiments (``all`` for every one) and print their
     tables; ``--scale full`` uses the larger surrogates, ``--output`` writes
-    the report to a file as well; ``--executor``/``--workers`` route the
-    resource-bounded batches through the parallel engine.
+    the report to a file as well; ``--alpha`` overrides the scale profile's
+    sweep values; ``--executor``/``--workers`` route the resource-bounded
+    batches through the service (answers are identical for every choice).
 ``datasets``
     Print the profile of each registered dataset surrogate.
 ``batch``
-    Answer a batch of queries through the :class:`~repro.engine.QueryEngine`
-    — sample a workload (or read reachability pairs from a file), answer it
-    with the chosen executor and worker count, and report throughput and
-    cache behaviour, plus accuracy against the exact oracle for sampled
-    *reachability* workloads (pattern workloads skip the exact matchers —
-    running them would dwarf the batch being measured).
+    Answer a batch of queries through the service — sample a workload (or
+    read reachability pairs from a file), let the planner route it, and
+    report throughput and cache behaviour, plus accuracy against the exact
+    oracle for sampled *reachability* workloads (pattern workloads skip the
+    exact matchers — running them would dwarf the batch being measured).
 ``update``
-    Replay a generated delta stream through ``QueryEngine.update``,
+    Replay a generated delta stream through ``GraphService.update``,
     interleaving query batches, and report update throughput (ops/s),
-    per-delta staleness (the window between a delta arriving and the engine
-    serving the updated graph), patch/rebuild/compaction counts and cache
+    per-delta staleness, the planner's patch/rebuild decisions and cache
     retention; ``--verify`` additionally checks every batch against a
-    freshly prepared engine (the rebuild-equivalence contract).
+    freshly opened service (the rebuild-equivalence contract).
 ``shard``
     Partition a dataset into ``k`` shards and answer a sampled workload
-    through the :class:`~repro.shard.ShardedEngine`, reporting the cut
-    (edges, fraction, boundary size, cross-shard routes), per-shard routing
-    counts, spillover (cross-shard pairs, local misses composed through the
-    boundary graph, spilled pattern balls) and throughput;
-    ``--compare-unsharded`` also answers the batch on a single-graph engine
-    and reports answer agreement plus relative speed.
+    through the service's sharded backend (scatter policy: the full PR 4
+    scatter–gather routing), reporting the cut, per-shard routing counts,
+    spillover and throughput; ``--compare-unsharded`` also answers the
+    batch on a single-graph service and reports answer agreement plus
+    relative speed.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -47,7 +52,26 @@ from typing import List, Optional
 from repro.experiments.harness import available_experiments, run_all, run_experiment
 from repro.experiments.reporting import format_many, summary_claims
 from repro.graph.statistics import summarize_for_report
+from repro.service.config import SCATTER, ServiceConfig, config_from_args, service_flag_parent
+from repro.service.reporting import (
+    accuracy_summary,
+    answers_identical,
+    load_reach_queries,
+    print_accuracy,
+    sample_requests,
+    warn_unknown_nodes,
+    write_json_report,
+)
 from repro.workloads.datasets import available_datasets, load_dataset
+
+
+def _prepare_kwargs(kind: str, alpha: float) -> dict:
+    """Map a CLI query kind to the matching ``prepare`` keyword."""
+    if kind == "reach":
+        return {"reach_alphas": [alpha]}
+    if kind == "sim":
+        return {"pattern_alphas": [alpha]}
+    return {"subgraph_alphas": [alpha]}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -56,10 +80,13 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Reproduce the tables and figures of 'Querying Big Graphs within Bounded Resources'",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    service_flags = service_flag_parent()
 
     subparsers.add_parser("list", help="list available experiments and datasets")
 
-    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser = subparsers.add_parser(
+        "run", help="run one or more experiments", parents=[service_flags]
+    )
     run_parser.add_argument(
         "experiments",
         nargs="+",
@@ -68,13 +95,6 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--scale", choices=["quick", "full"], default="quick")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--output", type=Path, default=None, help="also write the report to this file")
-    run_parser.add_argument(
-        "--executor",
-        choices=["serial", "thread", "process"],
-        default="serial",
-        help="engine executor for the RBSim/RBSub/RBReach batches (answers are identical)",
-    )
-    run_parser.add_argument("--workers", type=int, default=None, help="worker count for parallel executors")
 
     datasets_parser = subparsers.add_parser("datasets", help="print dataset surrogate profiles")
     datasets_parser.add_argument(
@@ -86,16 +106,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     batch_parser = subparsers.add_parser(
         "batch",
-        help="answer a batch of queries through the engine and report throughput",
+        help="answer a batch of queries through the service and report throughput",
+        parents=[service_flags],
     )
-    batch_parser.add_argument("--dataset", default="youtube-small", help="dataset the engine serves")
+    batch_parser.add_argument("--dataset", default="youtube-small", help="dataset the service serves")
     batch_parser.add_argument(
         "--kind",
         choices=["reach", "sim", "sub"],
         default="reach",
         help="query class: RBReach reachability, RBSim simulation or RBSub subgraph patterns",
     )
-    batch_parser.add_argument("--alpha", type=float, default=0.02, help="resource ratio α")
     batch_parser.add_argument("--count", type=int, default=200, help="sampled workload size")
     batch_parser.add_argument(
         "--queries",
@@ -108,10 +128,6 @@ def _build_parser() -> argparse.ArgumentParser:
         default="4,8",
         help="pattern shape '|Vp|,|Ep|' for sampled pattern workloads (default 4,8)",
     )
-    batch_parser.add_argument(
-        "--executor", choices=["serial", "thread", "process"], default="serial"
-    )
-    batch_parser.add_argument("--workers", type=int, default=None, help="worker count (default: all cores)")
     batch_parser.add_argument("--seed", type=int, default=0)
     batch_parser.add_argument(
         "--repeat", type=int, default=1, help="answer the same batch N times (shows the LRU cache)"
@@ -125,10 +141,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     update_parser = subparsers.add_parser(
         "update",
-        help="replay a delta stream through the engine and report update throughput",
+        help="replay a delta stream through the service and report update throughput",
+        parents=[service_flags],
     )
-    update_parser.add_argument("--dataset", default="youtube-small", help="dataset the engine serves")
-    update_parser.add_argument("--alpha", type=float, default=0.05, help="resource ratio α")
+    update_parser.add_argument("--dataset", default="youtube-small", help="dataset the service serves")
     update_parser.add_argument("--batches", type=int, default=10, help="number of delta batches")
     update_parser.add_argument("--ops", type=int, default=50, help="mutations per delta batch")
     update_parser.add_argument(
@@ -140,21 +156,18 @@ def _build_parser() -> argparse.ArgumentParser:
     update_parser.add_argument(
         "--queries", type=int, default=100, help="reachability queries answered between deltas"
     )
-    update_parser.add_argument(
-        "--executor", choices=["serial", "thread", "process"], default="serial"
-    )
-    update_parser.add_argument("--workers", type=int, default=None, help="worker count for parallel executors")
     update_parser.add_argument("--seed", type=int, default=0)
     update_parser.add_argument(
         "--verify",
         action="store_true",
-        help="after every delta, compare answers against a freshly prepared engine",
+        help="after every delta, compare answers against a freshly opened service",
     )
     update_parser.add_argument("--output", type=Path, default=None, help="write a JSON report here")
 
     shard_parser = subparsers.add_parser(
         "shard",
-        help="partition a dataset and answer a workload through the sharded engine",
+        help="partition a dataset and answer a workload through the sharded backend",
+        parents=[service_flags],
     )
     shard_parser.add_argument("--dataset", default="youtube-small", help="dataset to partition and serve")
     shard_parser.add_argument("--shards", "-k", type=int, default=4, help="number of shards k")
@@ -177,22 +190,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default="reach",
         help="query class: RBReach reachability, RBSim simulation or RBSub subgraph patterns",
     )
-    shard_parser.add_argument("--alpha", type=float, default=0.02, help="resource ratio α")
     shard_parser.add_argument("--count", type=int, default=200, help="sampled workload size")
     shard_parser.add_argument(
         "--shape",
         default="4,8",
         help="pattern shape '|Vp|,|Ep|' for sampled pattern workloads (default 4,8)",
     )
-    shard_parser.add_argument(
-        "--executor", choices=["serial", "thread", "process"], default="serial"
-    )
-    shard_parser.add_argument("--workers", type=int, default=None, help="worker count (default: all cores)")
     shard_parser.add_argument("--seed", type=int, default=0)
     shard_parser.add_argument(
         "--compare-unsharded",
         action="store_true",
-        help="also answer the batch on a single-graph engine and report agreement + speedup",
+        help="also answer the batch on a single-graph service and report agreement + speedup",
     )
     shard_parser.add_argument("--output", type=Path, default=None, help="write a JSON report here")
     return parser
@@ -220,101 +228,47 @@ def _command_datasets(backend: str = "digraph") -> int:
     return 0
 
 
-def _parse_node(token: str):
-    """Node ids in the bundled datasets are ints; keep other tokens as strings."""
-    try:
-        return int(token)
-    except ValueError:
-        return token
-
-
-def _load_reach_queries(path: Path) -> List[tuple]:
-    """Parse a queries file: one ``source target`` pair per line, ``#`` comments."""
-    pairs = []
-    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
-        stripped = line.split("#", 1)[0].strip()
-        if not stripped:
-            continue
-        tokens = stripped.split()
-        if len(tokens) != 2:
-            raise SystemExit(f"{path}:{line_number}: expected 'source target', got {line!r}")
-        pairs.append((_parse_node(tokens[0]), _parse_node(tokens[1])))
-    if not pairs:
-        raise SystemExit(f"{path}: no queries found")
-    return pairs
-
-
 def _command_batch(args) -> int:
-    from repro.core.accuracy import boolean_accuracy
-    from repro.engine import PatternQuery, QueryEngine, ReachQuery
-    from repro.workloads.queries import (
-        generate_pattern_workload,
-        generate_reachability_workload,
-    )
+    from repro.service import GraphService, ReachRequest
 
+    config = config_from_args(args)
+    alpha = config.alpha
     # The seed selects the surrogate graph too, mirroring the `run` command,
     # so batch numbers are comparable with experiment runs at the same seed.
     graph = load_dataset(args.dataset, seed=args.seed)
     truth = None
-    if args.kind == "reach":
-        if args.queries is not None:
-            pairs = _load_reach_queries(args.queries)
-            # RBReach answers False for nodes outside the graph, which would
-            # read as a healthy all-unreachable report — flag it instead.
-            unknown = sorted(
-                {repr(node) for pair in pairs for node in pair if node not in graph}
-            )
-            if unknown:
-                shown = ", ".join(unknown[:5]) + (", ..." if len(unknown) > 5 else "")
-                print(
-                    f"warning: {len(unknown)} queried node id(s) not in dataset "
-                    f"{args.dataset!r} ({shown}); those queries answer unreachable",
-                    file=sys.stderr,
-                )
-        else:
-            workload = generate_reachability_workload(graph, count=args.count, seed=args.seed)
-            pairs = workload.pairs
-            truth = workload.truth
-        queries = [ReachQuery(source, target) for source, target in pairs]
+    pairs = None
+    if args.kind == "reach" and args.queries is not None:
+        pairs = load_reach_queries(args.queries)
+        # RBReach answers False for nodes outside the graph, which would
+        # read as a healthy all-unreachable report — flag it instead.
+        warn_unknown_nodes(graph, pairs, args.dataset)
+        requests = [ReachRequest(source, target) for source, target in pairs]
     else:
-        try:
-            shape = tuple(int(part) for part in args.shape.split(","))
-            if len(shape) != 2:
-                raise ValueError
-        except ValueError:
-            raise SystemExit(f"--shape must be '|Vp|,|Ep|', got {args.shape!r}") from None
         if args.queries is not None:
             raise SystemExit("--queries files are only supported for --kind reach")
-        workload = generate_pattern_workload(graph, shape=shape, count=args.count, seed=args.seed)
-        semantics = "simulation" if args.kind == "sim" else "subgraph"
-        queries = [
-            PatternQuery(query.pattern, query.personalized_match, semantics=semantics)
-            for query in workload
-        ]
+        requests, pairs, truth = sample_requests(
+            graph, args.kind, args.count, args.shape, args.seed
+        )
 
-    engine = QueryEngine(graph)
+    service = GraphService(graph, config)
     started = time.perf_counter()
-    if args.kind == "reach":
-        engine.prepare(reach_alphas=[args.alpha])
-    elif args.kind == "sim":
-        engine.prepare(pattern_alphas=[args.alpha])
-    else:
-        engine.prepare(subgraph_alphas=[args.alpha])
+    service.prepare(**_prepare_kwargs(args.kind, alpha))
     prepare_seconds = time.perf_counter() - started
 
     print(
-        f"batch: kind={args.kind} dataset={args.dataset} n={len(queries)} alpha={args.alpha} "
-        f"executor={args.executor} workers={args.workers or 'auto'}"
+        f"batch: kind={args.kind} dataset={args.dataset} n={len(requests)} alpha={alpha} "
+        f"executor={config.executor} workers={config.workers or 'auto'}"
     )
-    print(f"engine: backend={engine.backend} prepare={prepare_seconds:.3f}s (once per graph)")
+    print(f"engine: backend={service.backend} prepare={prepare_seconds:.3f}s (once per graph)")
 
     runs = []
     answers = None
+    plan = None
     for run_number in range(1, max(1, args.repeat) + 1):
-        report = engine.run_batch(
-            queries, args.alpha, executor=args.executor, workers=args.workers
-        )
+        report = service.run_batch(requests)
         answers = report.answers
+        plan = report.plan
         runs.append(report)
         print(
             f"run {run_number}: wall={report.wall_seconds:.3f}s "
@@ -322,15 +276,18 @@ def _command_batch(args) -> int:
             f"cache hits={report.cache_hits} misses={report.cache_misses} "
             f"chunks={report.chunks}"
         )
+    print(f"plan: backend={plan.backend} executor={plan.executor} ({plan.reason})")
 
     payload = {
         "dataset": args.dataset,
         "kind": args.kind,
-        "alpha": args.alpha,
-        "executor": args.executor,
-        "workers": args.workers,
-        "backend": engine.backend,
-        "num_queries": len(queries),
+        "alpha": alpha,
+        "executor": config.executor,
+        "workers": config.workers,
+        "backend": service.backend,
+        "plan_backend": plan.backend,
+        "plan_executor": plan.executor,
+        "num_queries": len(requests),
         "prepare_seconds": prepare_seconds,
         "runs": [
             {
@@ -344,23 +301,25 @@ def _command_batch(args) -> int:
     }
 
     if truth is not None:
-        mapping = {pair: answer.reachable for pair, answer in zip(pairs, answers)}
-        accuracy = boolean_accuracy(truth, mapping)
-        payload["accuracy_f_measure"] = accuracy.f_measure
-        print(f"accuracy vs exact oracle: f-measure={accuracy.f_measure:.3f}")
+        summary = accuracy_summary(pairs, answers, truth)
+        payload["accuracy_f_measure"] = summary["accuracy_f_measure"]
+        print_accuracy(summary)
 
     exit_code = 0
     if args.compare_serial:
-        if args.executor == "serial":
+        if plan.executor == "serial":
             print(
-                "note: --compare-serial skipped — the selected executor already "
+                "note: --compare-serial skipped — the planned executor already "
                 "is the serial reference path",
                 file=sys.stderr,
             )
         else:
+            engine = service.engine
             engine.clear_cache()
-            serial_report = engine.run_batch(queries, args.alpha, executor="serial")
-            identical = _answers_identical(args.kind, answers, serial_report.answers)
+            serial_report = engine.run_batch(
+                [request.to_query() for request in requests], alpha, executor="serial"
+            )
+            identical = answers_identical(args.kind, answers, serial_report.answers)
             speedup = (
                 serial_report.wall_seconds / runs[0].wall_seconds
                 if runs[0].wall_seconds > 0
@@ -376,35 +335,35 @@ def _command_batch(args) -> int:
             if not identical:
                 exit_code = 1  # still write the report: it documents the mismatch
 
-    if args.output is not None:
-        args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-        print(f"(report written to {args.output})")
+    write_json_report(args.output, payload)
     return exit_code
 
 
 def _command_update(args) -> int:
-    from repro.engine import QueryEngine, ReachQuery
+    from repro.service import GraphService, ReachRequest, ServiceConfig
     from repro.workloads.deltas import generate_delta_stream
     from repro.workloads.queries import sample_mixed_pairs
 
+    config = config_from_args(args)
+    alpha = config.alpha
     graph = load_dataset(args.dataset, seed=args.seed)
     stream = generate_delta_stream(
         graph, batches=args.batches, ops_per_batch=args.ops, mix=args.mix, seed=args.seed
     )
     pairs = sample_mixed_pairs(graph, args.queries, seed=args.seed)
-    queries = [ReachQuery(source, target) for source, target in pairs]
+    requests = [ReachRequest(source, target) for source, target in pairs]
 
-    engine = QueryEngine(graph)
+    service = GraphService(graph, config)
     started = time.perf_counter()
-    engine.prepare(reach_alphas=[args.alpha])
+    service.prepare(reach_alphas=[alpha])
     prepare_seconds = time.perf_counter() - started
     print(
         f"update: dataset={args.dataset} |V|={graph.num_nodes()} |E|={graph.num_edges()} "
-        f"alpha={args.alpha} mix={args.mix} batches={len(stream)} ops/batch={args.ops}"
+        f"alpha={alpha} mix={args.mix} batches={len(stream)} ops/batch={args.ops}"
     )
-    print(f"engine: backend={engine.backend} prepare={prepare_seconds:.3f}s (once, before the stream)")
+    print(f"engine: backend={service.backend} prepare={prepare_seconds:.3f}s (once, before the stream)")
 
-    engine.run_batch(queries, args.alpha, executor=args.executor, workers=args.workers)
+    service.run_batch(requests)
 
     modes: dict = {}
     staleness: List[float] = []
@@ -412,26 +371,28 @@ def _command_update(args) -> int:
     evicted = retained = 0
     verify_failures = 0
     for batch_number, delta in enumerate(stream, start=1):
-        report = engine.update(delta)
+        report = service.update(delta)
         staleness.append(report.wall_seconds)
         modes[report.mode] = modes.get(report.mode, 0) + 1
-        compactions += int(report.summary.compacted)
+        compactions += int(report.engine_report.summary.compacted)
         evicted += report.cache_evicted
         retained = report.cache_retained
-        query_report = engine.run_batch(
-            queries, args.alpha, executor=args.executor, workers=args.workers
-        )
+        query_report = service.run_batch(requests)
         line = (
             f"batch {batch_number}: ops={delta.size()} mode={report.mode} "
+            f"plan={report.plan.action} "
             f"staleness={report.wall_seconds * 1000:.1f}ms "
             f"updates/s={report.ops_per_second:.0f} "
             f"queries/s={query_report.throughput:.0f} "
             f"cache evicted={report.cache_evicted} retained={report.cache_retained}"
         )
         if args.verify:
-            fresh = QueryEngine(engine.prepared.graph, mirror="never", cache_size=0)
-            fresh_answers = fresh.answer_batch(queries, args.alpha)
-            identical = _answers_identical("reach", query_report.answers, fresh_answers)
+            fresh = GraphService(
+                service.graph,
+                ServiceConfig(executor="serial", cache_size=0, mirror="never"),
+            )
+            fresh_answers = fresh.run_batch(requests, alpha=alpha).answers
+            identical = answers_identical("reach", query_report.answers, fresh_answers)
             line += f" verify={'ok' if identical else 'MISMATCH'}"
             if not identical:
                 verify_failures += 1
@@ -445,86 +406,56 @@ def _command_update(args) -> int:
         f"modes={modes} compactions={compactions} "
         f"mean staleness={1000 * total_update_seconds / max(1, len(staleness)):.1f}ms"
     )
-    if args.output is not None:
-        payload = {
-            "dataset": args.dataset,
-            "alpha": args.alpha,
-            "mix": args.mix,
-            "batches": len(stream),
-            "ops_per_batch": args.ops,
-            "total_ops": total_ops,
-            "prepare_seconds": prepare_seconds,
-            "update_seconds": total_update_seconds,
-            "updates_per_second": total_ops / total_update_seconds if total_update_seconds else 0.0,
-            "mean_staleness_ms": 1000 * total_update_seconds / max(1, len(staleness)),
-            "modes": modes,
-            "compactions": compactions,
-            "cache_evicted_total": evicted,
-            "cache_retained_final": retained,
-            "verified": bool(args.verify),
-            "verify_failures": verify_failures,
-        }
-        args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-        print(f"(report written to {args.output})")
+    payload = {
+        "dataset": args.dataset,
+        "alpha": alpha,
+        "mix": args.mix,
+        "batches": len(stream),
+        "ops_per_batch": args.ops,
+        "total_ops": total_ops,
+        "prepare_seconds": prepare_seconds,
+        "update_seconds": total_update_seconds,
+        "updates_per_second": total_ops / total_update_seconds if total_update_seconds else 0.0,
+        "mean_staleness_ms": 1000 * total_update_seconds / max(1, len(staleness)),
+        "modes": modes,
+        "compactions": compactions,
+        "cache_evicted_total": evicted,
+        "cache_retained_final": retained,
+        "verified": bool(args.verify),
+        "verify_failures": verify_failures,
+    }
+    write_json_report(args.output, payload)
     return 1 if verify_failures else 0
 
 
 def _command_shard(args) -> int:
-    from repro.core.accuracy import boolean_accuracy
-    from repro.engine import PatternQuery, QueryEngine, ReachQuery
-    from repro.shard import DEFAULT_HALO_DEPTH, ShardedEngine
-    from repro.workloads.queries import (
-        generate_pattern_workload,
-        generate_reachability_workload,
-    )
+    from repro.service import GraphService, ServiceConfig
 
     if args.shards < 1:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
-    graph = load_dataset(args.dataset, seed=args.seed)
-    truth = None
-    if args.kind == "reach":
-        workload = generate_reachability_workload(graph, count=args.count, seed=args.seed)
-        pairs = workload.pairs
-        truth = workload.truth
-        queries = [ReachQuery(source, target) for source, target in pairs]
-    else:
-        try:
-            shape = tuple(int(part) for part in args.shape.split(","))
-            if len(shape) != 2:
-                raise ValueError
-        except ValueError:
-            raise SystemExit(f"--shape must be '|Vp|,|Ep|', got {args.shape!r}") from None
-        pattern_workload = generate_pattern_workload(
-            graph, shape=shape, count=args.count, seed=args.seed
-        )
-        semantics = "simulation" if args.kind == "sim" else "subgraph"
-        queries = [
-            PatternQuery(query.pattern, query.personalized_match, semantics=semantics)
-            for query in pattern_workload
-        ]
-
-    halo_depth = args.halo_depth if args.halo_depth is not None else DEFAULT_HALO_DEPTH
-    started = time.perf_counter()
-    engine = ShardedEngine(
-        graph,
+    config = config_from_args(
+        args,
         num_shards=args.shards,
-        method=args.method,
-        seed=args.seed,
-        halo_depth=halo_depth,
+        shard_method=args.method,
+        shard_policy=SCATTER,
+        **({"halo_depth": args.halo_depth} if args.halo_depth is not None else {}),
     )
-    if args.kind == "reach":
-        engine.prepare(reach_alphas=[args.alpha])
-    elif args.kind == "sim":
-        engine.prepare(pattern_alphas=[args.alpha])
-    else:
-        engine.prepare(subgraph_alphas=[args.alpha])
+    alpha = config.alpha
+    graph = load_dataset(args.dataset, seed=args.seed)
+    requests, pairs, truth = sample_requests(
+        graph, args.kind, args.count, args.shape, args.seed
+    )
+
+    started = time.perf_counter()
+    service = GraphService(graph, config)
+    service.prepare(**_prepare_kwargs(args.kind, alpha))
     prepare_seconds = time.perf_counter() - started
-    profile = engine.describe()
+    profile = service.shard_profile()
 
     print(
         f"shard: dataset={args.dataset} k={args.shards} method={args.method} "
-        f"halo_depth={halo_depth} kind={args.kind} n={len(queries)} alpha={args.alpha} "
-        f"executor={args.executor} workers={args.workers or 'auto'}"
+        f"halo_depth={config.halo_depth} kind={args.kind} n={len(requests)} alpha={alpha} "
+        f"executor={config.executor} workers={config.workers or 'auto'}"
     )
     print(
         f"partition: nodes/shard={profile['shard_nodes']} "
@@ -537,7 +468,7 @@ def _command_shard(args) -> int:
     )
     print(f"prepare: {prepare_seconds:.3f}s (partition + per-shard indexes + boundary)")
 
-    report = engine.run_batch(queries, args.alpha, executor=args.executor, workers=args.workers)
+    report = service.run_batch(requests)
     print(
         f"batch: wall={report.wall_seconds:.3f}s throughput={report.throughput:.1f} q/s "
         f"chunks={report.chunks}"
@@ -552,13 +483,13 @@ def _command_shard(args) -> int:
     payload = {
         "dataset": args.dataset,
         "kind": args.kind,
-        "alpha": args.alpha,
+        "alpha": alpha,
         "num_shards": args.shards,
         "method": args.method,
-        "halo_depth": halo_depth,
-        "executor": args.executor,
-        "workers": args.workers,
-        "num_queries": len(queries),
+        "halo_depth": config.halo_depth,
+        "executor": config.executor,
+        "workers": config.workers,
+        "num_queries": len(requests),
         "prepare_seconds": prepare_seconds,
         "partition": profile,
         "wall_seconds": report.wall_seconds,
@@ -572,30 +503,20 @@ def _command_shard(args) -> int:
     }
 
     if truth is not None:
-        mapping = {pair: answer.reachable for pair, answer in zip(pairs, report.answers)}
-        accuracy = boolean_accuracy(truth, mapping)
-        false_positives = sum(
-            1 for pair in pairs if mapping[pair] and not truth[pair]
-        )
-        payload["accuracy_f_measure"] = accuracy.f_measure
-        payload["false_positives"] = false_positives
-        print(
-            f"accuracy vs exact oracle: f-measure={accuracy.f_measure:.3f} "
-            f"false-positives={false_positives} (contract: always 0)"
-        )
+        summary = accuracy_summary(pairs, report.answers, truth)
+        payload["accuracy_f_measure"] = summary["accuracy_f_measure"]
+        payload["false_positives"] = summary["false_positives"]
+        print_accuracy(summary, contract_note=True)
 
     # A false positive breaks the hard contract: fail the command (the
     # report is still written so the violation is documented).
     exit_code = 1 if payload.get("false_positives") else 0
     if args.compare_unsharded:
-        single = QueryEngine(graph, cache_size=0)
-        if args.kind == "reach":
-            single.prepare(reach_alphas=[args.alpha])
-        elif args.kind == "sim":
-            single.prepare(pattern_alphas=[args.alpha])
-        else:
-            single.prepare(subgraph_alphas=[args.alpha])
-        single_report = single.run_batch(queries, args.alpha)
+        single = GraphService(
+            graph, ServiceConfig(executor="serial", cache_size=0, alpha=alpha)
+        )
+        single.prepare(**_prepare_kwargs(args.kind, alpha))
+        single_report = single.run_batch(requests)
         if args.kind == "reach":
             agree = sum(
                 1
@@ -621,29 +542,14 @@ def _command_shard(args) -> int:
         )
         payload["unsharded_wall_seconds"] = single_report.wall_seconds
         payload["sharded_speedup"] = speedup
-        payload["agreement"] = agree / max(1, len(queries))
+        payload["agreement"] = agree / max(1, len(requests))
         print(
-            f"vs unsharded: agreement={agree}/{len(queries)} "
+            f"vs unsharded: agreement={agree}/{len(requests)} "
             f"positives-not-in-unsharded={sharded_fp} speedup={speedup:.2f}x"
         )
 
-    if args.output is not None:
-        args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-        print(f"(report written to {args.output})")
+    write_json_report(args.output, payload)
     return exit_code
-
-
-def _answers_identical(kind: str, left, right) -> bool:
-    """Compare two answer lists field-by-field (the parity contract)."""
-    if kind == "reach":
-        return [
-            (answer.reachable, answer.visited, answer.met_at, answer.exhausted) for answer in left
-        ] == [
-            (answer.reachable, answer.visited, answer.met_at, answer.exhausted) for answer in right
-        ]
-    return [(answer.answer, answer.subgraph_size) for answer in left] == [
-        (answer.answer, answer.subgraph_size) for answer in right
-    ]
 
 
 def _command_run(
@@ -651,14 +557,17 @@ def _command_run(
     scale: str,
     seed: int,
     output: Optional[Path],
-    executor: str = "serial",
+    executor: str = "auto",
     workers: Optional[int] = None,
+    alpha: Optional[float] = None,
 ) -> int:
     if len(experiments) == 1 and experiments[0] == "all":
-        results = run_all(scale=scale, seed=seed, executor=executor, workers=workers)
+        results = run_all(scale=scale, seed=seed, executor=executor, workers=workers, alpha=alpha)
     else:
         results = [
-            run_experiment(experiment_id, scale=scale, seed=seed, executor=executor, workers=workers)
+            run_experiment(
+                experiment_id, scale=scale, seed=seed, executor=executor, workers=workers, alpha=alpha
+            )
             for experiment_id in experiments
         ]
     report = format_many(results)
@@ -681,7 +590,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_datasets(backend=args.backend)
     if args.command == "run":
         return _command_run(
-            args.experiments, args.scale, args.seed, args.output, args.executor, args.workers
+            args.experiments,
+            args.scale,
+            args.seed,
+            args.output,
+            args.executor,
+            args.workers,
+            args.alpha,
         )
     if args.command == "batch":
         return _command_batch(args)

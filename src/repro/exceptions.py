@@ -66,5 +66,31 @@ class ShardError(ReproError):
     """Raised when the sharded serving layer is configured or used incorrectly."""
 
 
+class ServiceError(EngineError):
+    """Raised when the ``GraphService`` façade is configured or used incorrectly.
+
+    Subclasses :class:`EngineError` so call sites migrated from the raw
+    engines keep catching configuration mistakes with their existing
+    ``except EngineError`` clauses.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment configuration is invalid."""
+
+
+__all__ = [
+    "BudgetError",
+    "BudgetExhaustedError",
+    "EdgeNotFoundError",
+    "EngineError",
+    "ExperimentError",
+    "GraphError",
+    "IndexBuildError",
+    "NodeNotFoundError",
+    "PatternError",
+    "ReproError",
+    "ServiceError",
+    "ShardError",
+    "WorkloadError",
+]

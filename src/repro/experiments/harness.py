@@ -11,7 +11,7 @@ corresponding figure's data series.  Two scales are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ExperimentError
@@ -81,6 +81,27 @@ def profile(scale: str) -> ScaleProfile:
         return _PROFILES[scale]
     except KeyError:
         raise ExperimentError(f"unknown scale {scale!r}; use one of {sorted(_PROFILES)}") from None
+
+
+def _apply_alpha(scale: ScaleProfile, alpha: Optional[float]) -> ScaleProfile:
+    """Collapse every α sweep of a profile onto one explicit value.
+
+    Backs the uniform ``--alpha`` CLI flag: ``repro-bench run fig8c
+    --alpha 0.01`` runs the figure at exactly that resource ratio instead
+    of the profile's sweep.
+    """
+    if alpha is None:
+        return scale
+    if not 0 < alpha <= 1:
+        raise ExperimentError(f"alpha must be in (0, 1], got {alpha}")
+    return replace(
+        scale,
+        pattern_alphas=(alpha,),
+        pattern_fixed_alpha=alpha,
+        synthetic_alpha=alpha,
+        reach_alphas=(alpha,),
+        reach_size_alphas=(alpha,),
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -263,14 +284,18 @@ def run_experiment(
     seed: int = 0,
     executor: str = "serial",
     workers: Optional[int] = None,
+    alpha: Optional[float] = None,
 ) -> ExperimentResult:
     """Run a single experiment by id (e.g. ``"fig8c"`` or ``"table2"``).
 
-    ``executor``/``workers`` select the engine executor used for the
-    RBSim/RBSub/RBReach batches (``serial``, ``thread`` or ``process``);
-    answers are identical to the serial path for every choice.
+    ``executor``/``workers`` select the service executor used for the
+    RBSim/RBSub/RBReach batches (``auto``, ``serial``, ``thread`` or
+    ``process``); answers are identical to the serial path for every
+    choice.  ``alpha`` collapses the profile's α sweeps onto one value.
     """
-    registry = _registry(profile(scale), seed=seed, executor=executor, workers=workers)
+    registry = _registry(
+        _apply_alpha(profile(scale), alpha), seed=seed, executor=executor, workers=workers
+    )
     try:
         thunk = registry[experiment_id]
     except KeyError:
@@ -286,10 +311,13 @@ def run_all(
     only: Optional[Sequence[str]] = None,
     executor: str = "serial",
     workers: Optional[int] = None,
+    alpha: Optional[float] = None,
 ) -> List[ExperimentResult]:
     """Run every experiment (or the subset ``only``) and return their results."""
     wanted = list(only) if only else available_experiments()
     return [
-        run_experiment(experiment_id, scale=scale, seed=seed, executor=executor, workers=workers)
+        run_experiment(
+            experiment_id, scale=scale, seed=seed, executor=executor, workers=workers, alpha=alpha
+        )
         for experiment_id in wanted
     ]

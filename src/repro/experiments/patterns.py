@@ -6,11 +6,12 @@ embedded pattern queries and averages running time, accuracy and reduction
 ratios per x-value (α, |Q| or |V|).
 
 The resource-bounded side runs as *batches* through the
-:class:`~repro.engine.QueryEngine` (one prepared graph per sweep: CSR
-mirror plus shared neighbourhood summaries, then one batch per x-value),
-while the exact baselines stay on the raw graph — they are the yardstick the
-engine is measured against.  ``executor``/``workers`` pick the batch
-executor; answers are identical to the serial path for all of them.
+:class:`~repro.service.GraphService` façade (one prepared service per
+sweep: CSR mirror plus shared neighbourhood summaries, then one batch per
+x-value), while the exact baselines stay on the raw graph — they are the
+yardstick the service is measured against.  ``executor``/``workers`` pick
+the batch executor (``auto`` lets the planner choose); answers are
+identical to the serial path for all of them.
 """
 
 from __future__ import annotations
@@ -19,14 +20,29 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.accuracy import mean_accuracy, pattern_accuracy
-from repro.engine import PatternQuery, QueryEngine
 from repro.engine.queries import SIMULATION, SUBGRAPH
 from repro.experiments.records import ExperimentResult, PatternRow
 from repro.graph.digraph import DiGraph
 from repro.matching.strong_simulation import match_opt
 from repro.matching.vf2 import vf2_opt
+from repro.service.config import ServiceConfig
+from repro.service.requests import PatternRequest
+from repro.service.service import GraphService
 from repro.workloads.datasets import synthetic
 from repro.workloads.queries import PatternWorkload, generate_pattern_workload
+
+
+def _sweep_service(
+    graph: DiGraph, executor: str = "serial", workers: Optional[int] = None
+) -> GraphService:
+    """One service per sweep — the only place experiment engines are built.
+
+    ``cache_size=0`` keeps figure timings raw (no fingerprint/cache
+    overhead); the forced executor keeps the measured path explicit.
+    """
+    return GraphService(
+        graph, ServiceConfig(executor=executor, workers=workers, cache_size=0)
+    )
 
 
 def _evaluate_workload(
@@ -36,14 +52,13 @@ def _evaluate_workload(
     dataset: str,
     x_label: str,
     x_value: float,
-    engine: Optional[QueryEngine] = None,
+    service: Optional[GraphService] = None,
     run_subgraph: bool = True,
     executor: str = "serial",
     workers: Optional[int] = None,
 ) -> PatternRow:
     """Run all four algorithms over one workload and aggregate a row."""
-    # cache_size=0 keeps figure timings raw (no fingerprint/cache overhead).
-    engine = engine or QueryEngine(graph, cache_size=0)
+    service = service or _sweep_service(graph, executor, workers)
     queries = list(workload)
 
     matchopt_times: List[float] = []
@@ -54,10 +69,10 @@ def _evaluate_workload(
         matchopt_times.append(time.perf_counter() - started)
 
     sim_batch = [
-        PatternQuery(query.pattern, query.personalized_match, semantics=SIMULATION)
+        PatternRequest(query.pattern, query.personalized_match, semantics=SIMULATION)
         for query in queries
     ]
-    sim_report = engine.run_batch(sim_batch, alpha, executor=executor, workers=workers)
+    sim_report = service.run_batch(sim_batch, alpha=alpha)
     rbsim_time = sim_report.wall_seconds / max(1, len(queries))
 
     sim_accuracies = []
@@ -84,10 +99,10 @@ def _evaluate_workload(
             vf2_times.append(time.perf_counter() - started)
 
         sub_batch = [
-            PatternQuery(query.pattern, query.personalized_match, semantics=SUBGRAPH)
+            PatternRequest(query.pattern, query.personalized_match, semantics=SUBGRAPH)
             for query in queries
         ]
-        sub_report = engine.run_batch(sub_batch, alpha, executor=executor, workers=workers)
+        sub_report = service.run_batch(sub_batch, alpha=alpha)
         rbsub_time = sub_report.wall_seconds / max(1, len(queries))
         for exact_sub, approx_sub in zip(exact_subs, sub_report.answers):
             sub_accuracies.append(pattern_accuracy(exact_sub.answer, approx_sub.answer))
@@ -133,7 +148,7 @@ def alpha_sweep(
 ) -> ExperimentResult:
     """Figures 8(a)–8(d) and Table 2: sweep the resource ratio α."""
     workload = generate_pattern_workload(graph, shape=shape, count=num_queries, seed=seed)
-    engine = QueryEngine(graph, cache_size=0)
+    service = _sweep_service(graph, executor, workers)
     rows = [
         _evaluate_workload(
             graph,
@@ -142,7 +157,7 @@ def alpha_sweep(
             dataset=dataset,
             x_label="alpha",
             x_value=alpha,
-            engine=engine,
+            service=service,
             executor=executor,
             workers=workers,
         )
@@ -164,7 +179,7 @@ def query_size_sweep(
     workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Figures 8(e)–8(h): sweep the query shape ``(|Vp|, |Ep|)`` at fixed α."""
-    engine = QueryEngine(graph, cache_size=0)
+    service = _sweep_service(graph, executor, workers)
     rows = []
     for shape in shapes:
         workload = generate_pattern_workload(graph, shape=shape, count=num_queries, seed=seed)
@@ -176,7 +191,7 @@ def query_size_sweep(
                 dataset=dataset,
                 x_label="|Q|",
                 x_value=shape[0],
-                engine=engine,
+                service=service,
                 executor=executor,
                 workers=workers,
             )

@@ -4,12 +4,12 @@
 ``LM`` baseline on batches of reachability queries, sweeping either the
 resource ratio α or the synthetic graph size |V|.
 
-The RBReach side runs through the batched :class:`~repro.engine.QueryEngine`
-(prepare once — condensation, per-α landmark index — then answer the whole
-workload as one batch), so the experiment loop exercises exactly the serving
-path the CLI ``batch`` command exposes; ``executor``/``workers`` select the
-serial, thread-pool or process-pool executor with answers guaranteed
-identical to the serial path.
+The RBReach side runs through the :class:`~repro.service.GraphService`
+façade (prepare once — condensation, per-α landmark index — then answer
+the whole workload as one batch), so the experiment loop exercises exactly
+the serving path the CLI ``batch`` command exposes; ``executor``/``workers``
+select the executor (``auto`` lets the planner choose) with answers
+guaranteed identical to the serial path.
 """
 
 from __future__ import annotations
@@ -18,7 +18,6 @@ import time
 from typing import List, Optional, Sequence
 
 from repro.core.accuracy import boolean_accuracy
-from repro.engine import QueryEngine, ReachQuery
 from repro.experiments.records import ExperimentResult, ReachabilityRow
 from repro.graph.digraph import DiGraph
 from repro.reachability.baselines import (
@@ -27,12 +26,36 @@ from repro.reachability.baselines import (
     LandmarkVectorReachability,
 )
 from repro.reachability.compression import CompressedGraph, compress
+from repro.service.config import ServiceConfig
+from repro.service.requests import ReachRequest
+from repro.service.service import GraphService
 from repro.workloads.datasets import synthetic
 from repro.workloads.queries import ReachabilityWorkload, generate_reachability_workload
 
 
+def _sweep_service(
+    graph: DiGraph,
+    compressed: CompressedGraph,
+    executor: str = "serial",
+    workers: Optional[int] = None,
+) -> GraphService:
+    """One service per sweep — the only place experiment engines are built.
+
+    One condensation serves both the baselines and the service's index
+    builds (``mirror="never"``: the injected compression describes
+    ``graph``).  ``cache_size=0``: every workload pair is unique and the
+    figure timings must stay raw — no fingerprinting or cache bookkeeping
+    in the measured batch time.
+    """
+    return GraphService(
+        graph,
+        ServiceConfig(executor=executor, workers=workers, cache_size=0, mirror="never"),
+        compressed=compressed,
+    )
+
+
 def _evaluate_alpha(
-    engine: QueryEngine,
+    service: GraphService,
     workload: ReachabilityWorkload,
     alpha: float,
     dataset: str,
@@ -42,18 +65,15 @@ def _evaluate_alpha(
     bfsopt_time: float,
     lm_time: float,
     lm_accuracy: float,
-    executor: str = "serial",
-    workers: Optional[int] = None,
 ) -> ReachabilityRow:
     """Build the index for one α, answer the workload as a batch, aggregate a row."""
+    engine = service.engine
     index = engine.prepared.reachability_index(alpha)
     build_time = engine.index_build_seconds(alpha)
 
-    report = engine.run_batch(
-        [ReachQuery(source, target) for source, target in workload.pairs],
-        alpha,
-        executor=executor,
-        workers=workers,
+    report = service.run_batch(
+        [ReachRequest(source, target) for source, target in workload.pairs],
+        alpha=alpha,
     )
     answers = {
         pair: answer.reachable for pair, answer in zip(workload.pairs, report.answers)
@@ -132,14 +152,10 @@ def alpha_sweep(
     )
     compressed = compress(graph)
     bfs_time, bfsopt_time, lm_time, lm_accuracy = _baseline_times(graph, compressed, workload, lm_seed=seed)
-    # One condensation serves both the baselines and the engine's index
-    # builds (mirror="never": the injected compression describes `graph`).
-    # cache_size=0: every workload pair is unique and the figure timings
-    # must stay raw — no fingerprinting or cache bookkeeping in rb_time.
-    engine = QueryEngine(graph, cache_size=0, mirror="never", compressed=compressed)
+    service = _sweep_service(graph, compressed, executor, workers)
     rows = [
         _evaluate_alpha(
-            engine,
+            service,
             workload,
             alpha,
             dataset,
@@ -149,8 +165,6 @@ def alpha_sweep(
             bfsopt_time=bfsopt_time,
             lm_time=lm_time,
             lm_accuracy=lm_accuracy,
-            executor=executor,
-            workers=workers,
         )
         for alpha in alphas
     ]
@@ -179,10 +193,10 @@ def graph_size_sweep(
         bfs_time, bfsopt_time, lm_time, lm_accuracy = _baseline_times(
             graph, compressed, workload, lm_seed=seed
         )
-        engine = QueryEngine(graph, cache_size=0, mirror="never", compressed=compressed)
+        service = _sweep_service(graph, compressed, executor, workers)
         for alpha in alphas:
             row = _evaluate_alpha(
-                engine,
+                service,
                 workload,
                 alpha,
                 dataset=f"synthetic-{size}",
@@ -192,8 +206,6 @@ def graph_size_sweep(
                 bfsopt_time=bfsopt_time,
                 lm_time=lm_time,
                 lm_accuracy=lm_accuracy,
-                executor=executor,
-                workers=workers,
             )
             rows.append(row)
     return ExperimentResult(experiment_id=experiment_id, title=title, rows=rows)

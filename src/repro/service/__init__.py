@@ -1,0 +1,98 @@
+"""The serving façade: one typed ``GraphService`` in front of every backend.
+
+This package is the single public entry point to the serving stack the
+previous PRs built (:mod:`repro.engine`, :mod:`repro.shard`,
+:mod:`repro.updates`):
+
+* :mod:`repro.service.config` — :class:`ServiceConfig`, every tunable in
+  one frozen dataclass, plus the shared CLI flag parent;
+* :mod:`repro.service.requests` — the typed request/response surface
+  (:class:`ReachRequest`, :class:`PatternRequest`, :class:`ServiceAnswer`,
+  :class:`ServiceStats`);
+* :mod:`repro.service.planner` — the pure auto-planner routing each batch
+  to the serial path, the parallel engine, or the lazily-built sharded
+  engine (and each delta to patch vs rebuild), every decision bit-identical
+  to serial evaluation under the default policy;
+* :mod:`repro.service.service` — :class:`GraphService` itself
+  (``open → prepare → query/stream → update → close``);
+* :mod:`repro.service.aio` — the asyncio front-end (``await submit``,
+  ``async for`` streaming) with bounded in-flight admission control;
+* :mod:`repro.service.reporting` — the CLI/benchmark glue every
+  ``repro-bench`` command shares.
+
+Quickstart::
+
+    from repro.service import GraphService, ReachRequest, ServiceConfig
+
+    with GraphService.open("youtube-small", ServiceConfig(alpha=0.02)) as service:
+        report = service.run_batch([ReachRequest(4, 17), ReachRequest(3, 99)])
+        print(report.plan.backend, [a.reachable for a in report.answers])
+
+See ``docs/MIGRATION.md`` for the old-entry-point → service mapping.
+"""
+
+from repro.service.config import (
+    AUTO,
+    CONTAIN,
+    EXECUTOR_CHOICES,
+    SCATTER,
+    SHARD_POLICIES,
+    ServiceConfig,
+    config_from_args,
+    service_flag_parent,
+)
+from repro.service.planner import (
+    BACKENDS,
+    PARALLEL,
+    PATCH,
+    Plan,
+    Planner,
+    REBUILD,
+    SERIAL,
+    SHARDED,
+    UpdatePlan,
+)
+from repro.service.requests import (
+    DEFAULT_CLIENT,
+    PatternRequest,
+    ReachRequest,
+    ServiceAnswer,
+    ServiceRequest,
+    ServiceStats,
+    as_request,
+)
+from repro.service.service import (
+    GraphService,
+    ServiceBatchReport,
+    ServiceUpdateReport,
+)
+
+__all__ = [
+    "AUTO",
+    "BACKENDS",
+    "CONTAIN",
+    "DEFAULT_CLIENT",
+    "EXECUTOR_CHOICES",
+    "GraphService",
+    "PARALLEL",
+    "PATCH",
+    "PatternRequest",
+    "Plan",
+    "Planner",
+    "REBUILD",
+    "ReachRequest",
+    "SCATTER",
+    "SERIAL",
+    "SHARDED",
+    "SHARD_POLICIES",
+    "ServiceAnswer",
+    "ServiceBatchReport",
+    "ServiceConfig",
+    "ServiceRequest",
+    "ServiceStats",
+    "ServiceUpdateReport",
+    "UpdatePlan",
+    "as_request",
+    "config_from_args",
+    "service_flag_parent",
+]

@@ -1,0 +1,207 @@
+"""Asyncio front-end: ``await service.submit(...)`` / ``async for`` streaming.
+
+The engines are synchronous and deliberately single-writer (prepared state,
+LRU cache).  The front-end bridges them into asyncio without giving up that
+discipline:
+
+* all engine work funnels through **one worker thread** (so async traffic
+  and the sync API share the service lock without contention storms);
+* an :class:`AdmissionController` bounds what is *admitted*: at most
+  ``max_inflight`` queries in flight at once, and per client the α-weighted
+  cost of its in-flight queries stays within ``client_alpha_budget``.
+  Past either bound, ``submit``/``stream`` **await** — backpressure, not
+  rejection — until earlier work releases its admission;
+* :meth:`AsyncFrontEnd.stream` dispatches a batch as independent chunks and
+  yields :class:`~repro.service.requests.ServiceAnswer` envelopes as each
+  chunk completes (the ``index`` field carries batch order).  Closing the
+  generator cancels unfinished chunks and releases their admission, leaving
+  the service reusable — property-tested in ``tests/test_service_async.py``.
+
+Admission state binds lazily to the running event loop and rebinds when the
+loop changes (each ``asyncio.run`` gets fresh primitives), so one service
+can serve several consecutive loops — the common test and script pattern.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.requests import ServiceAnswer, ServiceRequest, as_request
+
+
+class AdmissionController:
+    """Bounded in-flight admission with per-client α accounting.
+
+    ``acquire``/``release`` charge a ``(count, cost)`` pair per client:
+    ``count`` queries against the global ``max_inflight`` bound and ``cost``
+    α units against the client's budget.  A charge larger than a whole
+    bound is admitted once nothing else it competes with is in flight
+    (oversized chunks run alone instead of deadlocking).
+    """
+
+    def __init__(self, max_inflight: int, client_budget: float):
+        self.max_inflight = max_inflight
+        self.client_budget = client_budget
+        self.inflight = 0
+        self.max_seen = 0
+        self.waits = 0
+        self._client_count: Dict[str, int] = {}
+        self._client_cost: Dict[str, float] = {}
+        self._condition: Optional[asyncio.Condition] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def _cond(self) -> asyncio.Condition:
+        loop = asyncio.get_running_loop()
+        if self._condition is None or self._loop is not loop:
+            # Fresh loop (or first use): asyncio primitives are loop-bound,
+            # and anything previously in flight died with the old loop.
+            self._condition = asyncio.Condition()
+            self._loop = loop
+            self.inflight = 0
+            self._client_count.clear()
+            self._client_cost.clear()
+        return self._condition
+
+    def _admissible(self, charges: Dict[str, Tuple[int, float]]) -> bool:
+        total = sum(count for count, _ in charges.values())
+        if self.inflight and self.inflight + total > self.max_inflight:
+            return False
+        for client, (_, cost) in charges.items():
+            held = self._client_cost.get(client, 0.0)
+            if self._client_count.get(client, 0) and held + cost > self.client_budget:
+                return False
+        return True
+
+    async def acquire(self, charges: Dict[str, Tuple[int, float]]) -> None:
+        """Await admission for the given per-client ``(count, cost)`` charges."""
+        condition = self._cond()
+        async with condition:
+            if not self._admissible(charges):
+                self.waits += 1
+                await condition.wait_for(lambda: self._admissible(charges))
+            for client, (count, cost) in charges.items():
+                self.inflight += count
+                self._client_count[client] = self._client_count.get(client, 0) + count
+                self._client_cost[client] = self._client_cost.get(client, 0.0) + cost
+            self.max_seen = max(self.max_seen, self.inflight)
+
+    async def release(self, charges: Dict[str, Tuple[int, float]]) -> None:
+        """Return a previous acquisition and wake waiters."""
+        condition = self._cond()
+        async with condition:
+            for client, (count, cost) in charges.items():
+                self.inflight -= count
+                remaining = self._client_count.get(client, 0) - count
+                if remaining > 0:
+                    self._client_count[client] = remaining
+                    self._client_cost[client] = max(
+                        0.0, self._client_cost.get(client, 0.0) - cost
+                    )
+                else:
+                    self._client_count.pop(client, None)
+                    self._client_cost.pop(client, None)
+            condition.notify_all()
+
+
+def _charges(
+    requests: Sequence[ServiceRequest], alphas: Sequence[float]
+) -> Dict[str, Tuple[int, float]]:
+    """Per-client ``(count, α cost)`` charges for one chunk."""
+    charges: Dict[str, Tuple[int, float]] = {}
+    for request, alpha in zip(requests, alphas):
+        count, cost = charges.get(request.client, (0, 0.0))
+        charges[request.client] = (count + 1, cost + alpha)
+    return charges
+
+
+class AsyncFrontEnd:
+    """The async face of one :class:`~repro.service.GraphService`."""
+
+    def __init__(self, service):
+        self._service = service
+        config = service.config
+        self.admission = AdmissionController(config.max_inflight, config.client_alpha_budget)
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service"
+        )
+        self._closed = False
+
+    def close(self) -> None:
+        """Stop the worker thread (pending chunks finish, nothing new starts)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=False)
+
+    def _effective_alpha(self, request: ServiceRequest, alpha: Optional[float]) -> float:
+        if request.alpha is not None:
+            return request.alpha
+        if alpha is not None:
+            return alpha
+        return self._service.config.alpha
+
+    async def _run_chunk(
+        self,
+        start: int,
+        requests: List[ServiceRequest],
+        alpha: Optional[float],
+    ) -> List[ServiceAnswer]:
+        """Admit one chunk, answer it on the worker thread, wrap the answers."""
+        alphas = [self._effective_alpha(request, alpha) for request in requests]
+        charges = _charges(requests, alphas)
+        await self.admission.acquire(charges)
+        try:
+            loop = asyncio.get_running_loop()
+            report = await loop.run_in_executor(
+                self._pool, lambda: self._service.run_batch(requests, alpha=alpha)
+            )
+            return [
+                ServiceAnswer(
+                    index=start + offset,
+                    request=request,
+                    value=value,
+                    alpha=value_alpha,
+                    backend=report.plan.backend,
+                )
+                for offset, (request, value, value_alpha) in enumerate(
+                    zip(requests, report.answers, report.effective_alphas())
+                )
+            ]
+        finally:
+            # Shielded: a cancellation mid-release must not strand the
+            # admission charge, or the service would leak capacity.
+            await asyncio.shield(self.admission.release(charges))
+
+    async def submit(self, request: Any, alpha: Optional[float] = None) -> ServiceAnswer:
+        """Answer one request under admission control."""
+        resolved = as_request(request)
+        answers = await self._run_chunk(0, [resolved], alpha)
+        service_stats = self._service._stats
+        service_stats.submitted += 1
+        return answers[0]
+
+    async def stream(self, requests: Sequence[Any], alpha: Optional[float] = None):
+        """Yield answers as chunks complete (an async generator)."""
+        resolved = [as_request(item) for item in requests]
+        chunk_size = self._service.config.stream_chunk_size
+        tasks = [
+            asyncio.ensure_future(
+                self._run_chunk(start, resolved[start : start + chunk_size], alpha)
+            )
+            for start in range(0, len(resolved), chunk_size)
+        ]
+        try:
+            for done in asyncio.as_completed(tasks):
+                for answer in await done:
+                    self._service._stats.streamed += 1
+                    yield answer
+        finally:
+            # Generator closed early (or a chunk failed): cancel what has
+            # not run, drain cancellations, keep the service reusable.
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+
+__all__ = ["AdmissionController", "AsyncFrontEnd", "_charges"]

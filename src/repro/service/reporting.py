@@ -1,0 +1,156 @@
+"""Shared CLI/reporting glue for every serving command.
+
+``repro-bench batch``, ``update`` and ``shard`` (and the service benchmarks)
+previously each carried their own copies of query-file parsing, workload
+sampling, answer comparison and accuracy/JSON reporting.  This module is
+the single home for that glue; :mod:`repro.cli` and the benchmarks import
+from here.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.accuracy import boolean_accuracy
+from repro.graph.protocol import GraphLike
+from repro.service.requests import PatternRequest, ReachRequest, ServiceRequest
+
+
+def parse_node(token: str):
+    """Node ids in the bundled datasets are ints; keep other tokens as strings."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def load_reach_queries(path: Path) -> List[tuple]:
+    """Parse a queries file: one ``source target`` pair per line, ``#`` comments."""
+    pairs = []
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        tokens = stripped.split()
+        if len(tokens) != 2:
+            raise SystemExit(f"{path}:{line_number}: expected 'source target', got {line!r}")
+        pairs.append((parse_node(tokens[0]), parse_node(tokens[1])))
+    if not pairs:
+        raise SystemExit(f"{path}: no queries found")
+    return pairs
+
+
+def parse_shape(text: str) -> Tuple[int, int]:
+    """Parse a ``'|Vp|,|Ep|'`` pattern-shape flag value."""
+    try:
+        shape = tuple(int(part) for part in text.split(","))
+        if len(shape) != 2:
+            raise ValueError
+    except ValueError:
+        raise SystemExit(f"--shape must be '|Vp|,|Ep|', got {text!r}") from None
+    return shape  # type: ignore[return-value]
+
+
+def answers_identical(kind: str, left: Sequence[Any], right: Sequence[Any]) -> bool:
+    """Compare two answer lists field-by-field (the parity contract)."""
+    if kind == "reach":
+        return [
+            (answer.reachable, answer.visited, answer.met_at, answer.exhausted) for answer in left
+        ] == [
+            (answer.reachable, answer.visited, answer.met_at, answer.exhausted) for answer in right
+        ]
+    return [(answer.answer, answer.subgraph_size) for answer in left] == [
+        (answer.answer, answer.subgraph_size) for answer in right
+    ]
+
+
+def warn_unknown_nodes(graph: GraphLike, pairs: Sequence[tuple], dataset: str) -> None:
+    """Flag queried node ids absent from the dataset (they answer unreachable)."""
+    unknown = sorted({repr(node) for pair in pairs for node in pair if node not in graph})
+    if unknown:
+        shown = ", ".join(unknown[:5]) + (", ..." if len(unknown) > 5 else "")
+        print(
+            f"warning: {len(unknown)} queried node id(s) not in dataset "
+            f"{dataset!r} ({shown}); those queries answer unreachable",
+            file=sys.stderr,
+        )
+
+
+def sample_requests(
+    graph: GraphLike,
+    kind: str,
+    count: int,
+    shape_text: str,
+    seed: int,
+) -> Tuple[List[ServiceRequest], Optional[list], Optional[dict]]:
+    """Sample a workload as service requests.
+
+    Returns ``(requests, pairs, truth)``; ``pairs``/``truth`` are only set
+    for reachability workloads, where the generator also computes the exact
+    oracle (pattern workloads skip the exact matchers — running them would
+    dwarf the batch being measured).
+    """
+    from repro.workloads.queries import (
+        generate_pattern_workload,
+        generate_reachability_workload,
+    )
+
+    if kind == "reach":
+        workload = generate_reachability_workload(graph, count=count, seed=seed)
+        requests: List[ServiceRequest] = [
+            ReachRequest(source, target) for source, target in workload.pairs
+        ]
+        return requests, workload.pairs, workload.truth
+    shape = parse_shape(shape_text)
+    workload = generate_pattern_workload(graph, shape=shape, count=count, seed=seed)
+    semantics = "simulation" if kind == "sim" else "subgraph"
+    requests = [
+        PatternRequest(query.pattern, query.personalized_match, semantics=semantics)
+        for query in workload
+    ]
+    return requests, None, None
+
+
+def accuracy_summary(
+    pairs: Sequence[tuple], answers: Sequence[Any], truth: Dict[tuple, bool]
+) -> Dict[str, Any]:
+    """F-measure plus false-positive count for a reachability batch."""
+    mapping = {pair: answer.reachable for pair, answer in zip(pairs, answers)}
+    accuracy = boolean_accuracy(truth, mapping)
+    false_positives = sum(1 for pair in pairs if mapping[pair] and not truth[pair])
+    return {
+        "accuracy_f_measure": accuracy.f_measure,
+        "false_positives": false_positives,
+    }
+
+
+def print_accuracy(summary: Dict[str, Any], contract_note: bool = False) -> None:
+    """The shared "accuracy vs exact oracle" line."""
+    line = f"accuracy vs exact oracle: f-measure={summary['accuracy_f_measure']:.3f}"
+    if contract_note:
+        line += f" false-positives={summary['false_positives']} (contract: always 0)"
+    print(line)
+
+
+def write_json_report(path: Optional[Path], payload: Dict[str, Any]) -> None:
+    """Write the machine-readable report (no-op when no path was given)."""
+    if path is None:
+        return
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"(report written to {path})")
+
+
+__all__ = [
+    "accuracy_summary",
+    "answers_identical",
+    "load_reach_queries",
+    "parse_node",
+    "parse_shape",
+    "print_accuracy",
+    "sample_requests",
+    "warn_unknown_nodes",
+    "write_json_report",
+]

@@ -146,12 +146,12 @@ def test_check_detects_regression(bench_report, stub_suite, tmp_path, capsys):
     assert "fake.speedup" in capsys.readouterr().out
 
 
-def test_shard_suite_is_registered():
+def test_all_suites_registered_with_committed_baselines():
     spec = importlib.util.spec_from_file_location(
         "bench_report_registry_check", ROOT / "tools" / "bench_report.py"
     )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
-    assert set(module.SUITES) == {"engine", "backend", "updates", "shard"}
+    assert set(module.SUITES) == {"engine", "backend", "updates", "shard", "service"}
     for name in module.SUITES:
         assert (ROOT / "benchmarks" / "baselines" / f"BENCH_{name}.json").exists()

@@ -1,0 +1,248 @@
+"""The asyncio front-end: streaming parity, cancellation, admission control.
+
+Covers the contract of ``GraphService.submit`` / ``GraphService.stream``:
+
+* a stream yields **exactly the batch answer set** — same indices, same
+  bit-identical values as the synchronous batch — regardless of completion
+  order;
+* cancelling a stream mid-flight releases its admission and leaves the
+  service fully reusable;
+* admission control actually bounds in-flight work (global ``max_inflight``
+  and the per-client α budget), applying backpressure instead of rejecting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.service import GraphService, ReachRequest, ServiceConfig
+from repro.service.aio import AdmissionController
+from repro.service.reporting import answers_identical
+from repro.workloads.queries import sample_mixed_pairs
+
+from tests.test_service import clustered_graph
+
+ALPHA = 0.1
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return clustered_graph(clusters=2, size=50, seed=21)
+
+
+@pytest.fixture(scope="module")
+def requests(graph):
+    return [ReachRequest(s, t) for s, t in sample_mixed_pairs(graph, 40, seed=5)]
+
+
+@pytest.fixture(scope="module")
+def reference(graph, requests):
+    engine = QueryEngine(graph, cache_size=0)
+    return engine.run_batch([r.to_query() for r in requests], ALPHA).answers
+
+
+class TestSubmit:
+    def test_submit_matches_sync_answer(self, graph, requests, reference):
+        service = GraphService(graph, ServiceConfig(cache_size=0))
+
+        async def main():
+            return await service.submit(requests[0], alpha=ALPHA)
+
+        answer = asyncio.run(main())
+        assert answers_identical("reach", [answer.value], [reference[0]])
+        assert answer.index == 0
+        assert answer.alpha == ALPHA
+        assert service.stats().submitted == 1
+
+    def test_concurrent_submits_all_answer(self, graph, requests, reference):
+        service = GraphService(graph, ServiceConfig(cache_size=0, max_inflight=4))
+
+        async def main():
+            return await asyncio.gather(
+                *(service.submit(request, alpha=ALPHA) for request in requests)
+            )
+
+        answers = asyncio.run(main())
+        assert answers_identical("reach", [a.value for a in answers], reference)
+        stats = service.stats()
+        assert stats.submitted == len(requests)
+        assert stats.max_inflight <= 4
+
+    def test_service_usable_across_event_loops(self, graph, requests):
+        service = GraphService(graph, ServiceConfig(cache_size=0))
+        for _ in range(2):  # each asyncio.run is a fresh loop
+            answer = asyncio.run(service.submit(requests[0], alpha=ALPHA))
+            assert answer.value is not None
+
+
+class TestStream:
+    def test_stream_yields_exactly_the_batch_answer_set(self, graph, requests, reference):
+        service = GraphService(graph, ServiceConfig(cache_size=0, stream_chunk_size=7))
+
+        async def main():
+            collected = []
+            async for answer in service.stream(requests, alpha=ALPHA):
+                collected.append(answer)
+            return collected
+
+        collected = asyncio.run(main())
+        assert sorted(a.index for a in collected) == list(range(len(requests)))
+        by_index = sorted(collected, key=lambda a: a.index)
+        assert answers_identical("reach", [a.value for a in by_index], reference)
+        assert service.stats().streamed == len(requests)
+
+    @staticmethod
+    async def _collect(service, requests):
+        return [a async for a in service.stream(requests, alpha=ALPHA)]
+
+    def test_stream_parity_for_every_chunk_size(self, graph, requests, reference):
+        for chunk_size in (1, 3, len(requests), len(requests) * 2):
+            service = GraphService(
+                graph, ServiceConfig(cache_size=0, stream_chunk_size=chunk_size)
+            )
+            collected = sorted(
+                asyncio.run(self._collect(service, requests)), key=lambda a: a.index
+            )
+            assert answers_identical("reach", [a.value for a in collected], reference), (
+                f"stream diverged at chunk_size={chunk_size}"
+            )
+
+    def test_cancellation_mid_stream_leaves_service_reusable(
+        self, graph, requests, reference
+    ):
+        service = GraphService(graph, ServiceConfig(cache_size=0, stream_chunk_size=4))
+
+        async def interrupted():
+            stream = service.stream(requests, alpha=ALPHA)
+            collected = []
+            async for answer in stream:
+                collected.append(answer)
+                if len(collected) >= 3:
+                    break
+            await stream.aclose()
+            return collected
+
+        partial = asyncio.run(interrupted())
+        assert len(partial) == 3
+
+        # The service must be fully reusable: admission released, worker
+        # thread healthy, answers still bit-identical — sync and async.
+        sync = service.run_batch(requests, alpha=ALPHA)
+        assert answers_identical("reach", sync.answers, reference)
+
+        async def full():
+            return [a async for a in service.stream(requests, alpha=ALPHA)]
+
+        collected = sorted(asyncio.run(full()), key=lambda a: a.index)
+        assert answers_identical("reach", [a.value for a in collected], reference)
+        assert service._frontend.admission.inflight == 0
+
+    def test_cancelled_task_mid_gather_releases_admission(self, graph, requests):
+        service = GraphService(graph, ServiceConfig(cache_size=0, max_inflight=2))
+
+        async def main():
+            tasks = [
+                asyncio.ensure_future(service.submit(request, alpha=ALPHA))
+                for request in requests[:6]
+            ]
+            await asyncio.sleep(0)
+            for task in tasks[3:]:
+                task.cancel()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            return results
+
+        results = asyncio.run(main())
+        assert any(isinstance(r, asyncio.CancelledError) for r in results)
+        assert service._frontend.admission.inflight == 0
+        # And the service still answers.
+        answer = asyncio.run(service.submit(requests[0], alpha=ALPHA))
+        assert answer.value is not None
+
+
+class TestAdmissionControl:
+    def test_backpressure_bounds_inflight(self, graph, requests):
+        service = GraphService(
+            graph, ServiceConfig(cache_size=0, max_inflight=4, stream_chunk_size=4)
+        )
+
+        async def main():
+            return [a async for a in service.stream(requests, alpha=ALPHA)]
+
+        collected = asyncio.run(main())
+        assert len(collected) == len(requests)
+        stats = service.stats()
+        assert 0 < stats.max_inflight <= 4
+        assert stats.admission_waits > 0  # later chunks actually waited
+
+    def test_controller_blocks_past_max_inflight(self):
+        async def main():
+            controller = AdmissionController(max_inflight=2, client_budget=10.0)
+            await controller.acquire({"a": (2, 0.2)})
+            waiter = asyncio.ensure_future(controller.acquire({"b": (1, 0.1)}))
+            await asyncio.sleep(0.01)
+            assert not waiter.done()  # blocked: 2 + 1 > 2
+            assert controller.waits == 1
+            await controller.release({"a": (2, 0.2)})
+            await asyncio.wait_for(waiter, timeout=1)
+            assert controller.inflight == 1
+            await controller.release({"b": (1, 0.1)})
+            assert controller.inflight == 0
+            assert controller.max_seen == 2
+
+        asyncio.run(main())
+
+    def test_controller_enforces_per_client_alpha_budget(self):
+        async def main():
+            controller = AdmissionController(max_inflight=100, client_budget=0.05)
+            await controller.acquire({"alice": (1, 0.04)})
+            blocked = asyncio.ensure_future(controller.acquire({"alice": (1, 0.04)}))
+            other = asyncio.ensure_future(controller.acquire({"bob": (1, 0.04)}))
+            await asyncio.sleep(0.01)
+            assert other.done()  # bob is under his own budget
+            assert not blocked.done()  # alice is over hers
+            await controller.release({"alice": (1, 0.04)})
+            await asyncio.wait_for(blocked, timeout=1)
+            await controller.release({"alice": (1, 0.04)})
+            await controller.release({"bob": (1, 0.04)})
+            assert controller.inflight == 0
+
+        asyncio.run(main())
+
+    def test_oversized_charge_admitted_alone(self):
+        async def main():
+            controller = AdmissionController(max_inflight=4, client_budget=0.1)
+            # A chunk larger than the whole bound must not deadlock: it is
+            # admitted once nothing else is in flight.
+            await asyncio.wait_for(controller.acquire({"a": (10, 1.0)}), timeout=1)
+            assert controller.inflight == 10
+            follower = asyncio.ensure_future(controller.acquire({"b": (1, 0.01)}))
+            await asyncio.sleep(0.01)
+            assert not follower.done()
+            await controller.release({"a": (10, 1.0)})
+            await asyncio.wait_for(follower, timeout=1)
+            await controller.release({"b": (1, 0.01)})
+
+        asyncio.run(main())
+
+    def test_per_client_budget_serialises_expensive_queries(self, graph, requests):
+        # Two clients, each holding at most one 0.08-α query at a time.
+        service = GraphService(
+            graph, ServiceConfig(cache_size=0, max_inflight=100, client_alpha_budget=0.1)
+        )
+        tagged = [
+            ReachRequest(r.source, r.target, alpha=0.08, client=f"c{i % 2}")
+            for i, r in enumerate(requests[:8])
+        ]
+
+        async def main():
+            return await asyncio.gather(*(service.submit(t) for t in tagged))
+
+        answers = asyncio.run(main())
+        assert len(answers) == 8
+        stats = service.stats()
+        assert stats.admission_waits > 0
+        # At most one in-flight query per client at any instant.
+        assert stats.max_inflight <= 2

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Machine-readable benchmark reports plus the CI regression gate.
 
-Runs four quick smoke suites and writes one JSON report each:
+Runs five quick smoke suites and writes one JSON report each:
 
 * ``BENCH_engine.json`` — the batched query engine: serial vs process-pool
   throughput on an RBReach batch, parallel speedup, LRU-cache behaviour;
@@ -11,7 +11,10 @@ Runs four quick smoke suites and writes one JSON report each:
   re-prepare on ≤1% delta batches, plus update throughput;
 * ``BENCH_shard.json`` — the sharded serving layer: contract witnesses
   (never-false-positive, k=1 bit-parity), greedy-vs-hash cut quality and
-  scatter–gather throughput vs the unsharded engine.
+  scatter–gather throughput vs the unsharded engine;
+* ``BENCH_service.json`` — the ``GraphService`` façade: ≤5% overhead vs
+  the raw engine on warm batches, planner-vs-naive-serial speedup, and the
+  bit-parity witnesses of the routing contract.
 
 Each report carries a ``gates`` table naming the metrics CI guards.  Gated
 metrics are deliberately *relative* (speedups, hit rates, 0/1 correctness
@@ -304,11 +307,56 @@ def shard_suite() -> dict:
     }
 
 
+def service_suite() -> dict:
+    """The GraphService façade vs the raw engine, plus planner quality."""
+    import sys as _sys
+
+    bench_dir = str(ROOT / "benchmarks")
+    if bench_dir not in _sys.path:
+        _sys.path.insert(0, bench_dir)
+    from bench_service_facade import measure_service_facade
+
+    metrics = measure_service_facade(seed=SEED)
+    return {
+        "suite": "service",
+        "schema_version": 1,
+        "environment": _environment(),
+        "config": {
+            "dataset": metrics["dataset"],
+            "alpha": metrics["alpha"],
+            "queries": metrics["queries"],
+        },
+        "metrics": {
+            "direct_wall_seconds": metrics["direct_wall_seconds"],
+            "service_wall_seconds": metrics["service_wall_seconds"],
+            "facade_overhead": metrics["facade_overhead"],
+            "facade_efficiency": metrics["facade_efficiency"],
+            "cache_hit_overhead": metrics["cache_hit_overhead"],
+            "planner_speedup": metrics["planner_speedup"],
+            "facade_parity": metrics["facade_parity"],
+            "planner_parity": metrics["planner_parity"],
+        },
+        # The two parity witnesses are hard 0/1 correctness gates.
+        # facade_efficiency (direct/service wall, ~1.0 when the façade is
+        # free) and planner_speedup (naive serial / planner choice) are the
+        # relative, runner-independent floors; the raw walls and the
+        # cache-hit-path overhead are informational.  The hard ≤5% overhead
+        # bar itself is asserted by bench_service_facade.py in bench-smoke.
+        "gates": {
+            "facade_parity": "higher",
+            "planner_parity": "higher",
+            "facade_efficiency": "higher",
+            "planner_speedup": "higher",
+        },
+    }
+
+
 SUITES = {
     "engine": engine_suite,
     "backend": backend_suite,
     "updates": updates_suite,
     "shard": shard_suite,
+    "service": service_suite,
 }
 
 
