@@ -14,6 +14,8 @@
 #                       workflow runs coverage as a parallel job; locally it
 #                       runs inline, re-running the suite under pytest-cov
 #                       when installed), printing which gate failed
+#   make test-soak    - the slow_shm shared-memory/daemon soak tests
+#                       (deselected from tier-1; run nightly)
 #   make nightly      - the full benchmark suite + reports the nightly workflow runs
 
 PYTHON ?= python
@@ -21,10 +23,13 @@ export PYTHONPATH := src
 
 CI_GATES := lint test docs-check coverage bench-smoke bench-check
 
-.PHONY: test lint coverage bench-smoke bench bench-report bench-check docs-check ci nightly
+.PHONY: test test-soak lint coverage bench-smoke bench bench-report bench-check docs-check ci nightly
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-soak:
+	$(PYTHON) -m pytest tests -m slow_shm -q
 
 lint:
 	$(PYTHON) tools/lint.py
@@ -55,5 +60,5 @@ ci:
 		$(MAKE) --no-print-directory $$gate || { echo "CI GATE FAILED: $$gate"; exit 1; }; \
 	done; echo "all CI gates passed: $(CI_GATES)"
 
-nightly: bench bench-report
+nightly: test-soak bench bench-report
 	$(PYTHON) tools/bench_trajectory.py

@@ -11,8 +11,14 @@ Section 1).  It separates the two phases the paper keeps distinct:
   :class:`~repro.engine.queries.ReachQuery` /
   :class:`~repro.engine.queries.PatternQuery` objects flow through a
   pluggable executor (:mod:`repro.engine.executors`: serial, thread pool,
-  process pool) behind an LRU answer cache
+  process pool, warm daemon pool) behind an LRU answer cache
   (:mod:`repro.engine.cache`) keyed on ``(query fingerprint, α)``.
+
+Parallel state ships through a zero-copy shared-memory tier
+(:mod:`repro.graph.shm` + :class:`~repro.engine.prepared.SharedPreparedGraph`):
+the CSR arrays are published once per state version and worker processes —
+including the persistent daemons of :mod:`repro.engine.daemons` — attach
+the same physical pages by segment name.
 
 The parity contract — identical answers for every executor and worker
 count — is property-tested in ``tests/test_engine.py`` and the ≥2×
@@ -27,21 +33,25 @@ mutated graph — see :mod:`repro.updates` and ``tests/test_updates.py``.
 """
 
 from repro.engine.cache import AnswerCache, CacheStats
+from repro.engine.daemons import DaemonPool
 from repro.engine.engine import BatchReport, QueryEngine, UpdateReport, default_workers
 from repro.engine.executors import (
     EXECUTORS,
+    DaemonExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     make_executor,
 )
-from repro.engine.prepared import PreparedGraph, UpdateSummary
+from repro.engine.prepared import PreparedGraph, SharedPreparedGraph, UpdateSummary, publish_state
 from repro.engine.queries import PatternQuery, ReachQuery
 
 __all__ = [
     "AnswerCache",
     "BatchReport",
     "CacheStats",
+    "DaemonExecutor",
+    "DaemonPool",
     "EXECUTORS",
     "PatternQuery",
     "PreparedGraph",
@@ -49,9 +59,11 @@ __all__ = [
     "QueryEngine",
     "ReachQuery",
     "SerialExecutor",
+    "SharedPreparedGraph",
     "ThreadExecutor",
     "UpdateReport",
     "UpdateSummary",
     "default_workers",
     "make_executor",
+    "publish_state",
 ]

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.cache import AnswerCache, CacheKey, CacheStats
+from repro.engine.daemons import DaemonPool
 from repro.engine.executors import Task, default_workers, make_executor
 from repro.engine.prepared import (
     DEFAULT_COMPACT_THRESHOLD,
@@ -133,6 +134,11 @@ class QueryEngine:
         # touches, so updates can evict surgically (see :meth:`update`).
         self._anchors: Dict[CacheKey, Tuple[Any, ...]] = {}
         self._pattern_guard_max_degree: Optional[int] = None
+        # Warm daemon pool (created on first ``executor="daemon"`` batch) and
+        # the update epoch that, with the prepared-state signature, versions
+        # the state the daemons hold so republish happens exactly when needed.
+        self._daemon_pool: Optional[DaemonPool] = None
+        self._state_epoch = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -160,6 +166,39 @@ class QueryEngine:
         """Drop every cached answer (counters reset too)."""
         self._cache.clear()
         self._anchors.clear()
+
+    # ------------------------------------------------------------------ #
+    # Daemon pool lifecycle
+    # ------------------------------------------------------------------ #
+    def daemon_pool(self, workers: Optional[int] = None) -> DaemonPool:
+        """The engine's warm worker pool, created on first use.
+
+        The first call fixes the worker count (later ``workers`` arguments
+        are ignored while the pool lives).  ``run_batch(executor="daemon")``
+        calls this implicitly; call it eagerly to pay daemon startup before
+        the first batch.  Pair with :meth:`close` — or use the engine as a
+        context manager — so the daemons and their shared segments are torn
+        down deterministically.
+        """
+        if self._daemon_pool is None or self._daemon_pool.closed:
+            self._daemon_pool = DaemonPool(workers)
+        return self._daemon_pool
+
+    def close(self) -> None:
+        """Shut down the daemon pool (if any) and unlink its shared state.
+
+        Idempotent; the engine remains usable afterwards — the next daemon
+        batch simply starts a fresh pool.
+        """
+        if self._daemon_pool is not None:
+            self._daemon_pool.close()
+            self._daemon_pool = None
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @staticmethod
     def _anchor_of(query: EngineQuery) -> Tuple[Any, ...]:
@@ -218,7 +257,9 @@ class QueryEngine:
         the updated graph, for every executor and worker count.  Executors
         need no special handling: worker pools live for a single batch and
         receive the prepared state at dispatch, so a batch issued after
-        ``update`` returns always sees the updated state.
+        ``update`` returns always sees the updated state.  The warm daemon
+        pool is versioned instead: every effective update bumps the engine's
+        state epoch, so the next daemon batch republishes before dispatch.
 
         The answer cache is invalidated surgically: entries whose query
         touches the mutated region (delta endpoints, changed components,
@@ -239,10 +280,14 @@ class QueryEngine:
             # The failing op's prefix is already on the substrate; the
             # prepared state was dropped for lazy rebuild, and the cached
             # answers must go with it or they would keep serving the
-            # pre-delta graph.
+            # pre-delta graph.  The epoch moves too: warm daemons must not
+            # keep serving the pre-delta state either.
+            self._state_epoch += 1
             self.clear_cache()
             self._pattern_guard_max_degree = None
             raise
+        if summary.mode != "noop":
+            self._state_epoch += 1
         report = UpdateReport(summary=summary)
         if summary.mode == "noop":
             report.cache_retained = len(self._cache)
@@ -398,7 +443,18 @@ class QueryEngine:
         # for kinds that actually dispatch: a fully-warm batch spawns no pool
         # and must not pay an eager precompute either.
         for kind in sorted({query.kind for _, query, _ in pending}):
-            self._prepared.prepare(kind, alpha, eager=runner.name == "process")
+            self._prepared.prepare(kind, alpha, eager=runner.name in ("process", "daemon"))
+
+        # The daemon executor routes to the engine's warm pool.  Binding
+        # happens *after* the prepare loop so the version token reflects the
+        # state this batch needs: a new α index (or an absorbed update, via
+        # the epoch) changes the token and triggers a republish to the
+        # daemons, which otherwise keep serving their attached state.
+        if runner.name == "daemon" and pending:
+            runner.bind(
+                self.daemon_pool(workers),
+                version=(self._state_epoch, self._prepared.state_signature()),
+            )
 
         # Batch composition over *all* queries (cache hits included), so the
         # telemetry describes the batch even when it was fully warm.

@@ -1,6 +1,6 @@
-"""Pluggable batch executors: serial, thread pool, process pool.
+"""Pluggable batch executors: serial, thread pool, process pool, daemon pool.
 
-All three run the *same* pure chunk function (:func:`answer_chunk`) over
+All of them run the *same* pure chunk function (:func:`answer_chunk`) over
 order-preserving chunks of the batch.  The parity contract rests on that
 purity: every query is answered independently by a deterministic matcher
 against shared read-only prepared state, so neither the executor nor the
@@ -17,8 +17,12 @@ promises and tests.  The executors only choose where chunks run:
   the prepared engine state **once via the pool initializer**, then stream
   lightweight ``(kind, alpha, queries)`` chunks.  Under the default ``fork``
   start method on Linux the state is inherited copy-on-write and never
-  pickled at all; under ``spawn`` it is pickled once per worker, never per
-  query.
+  pickled at all; under ``spawn``/``forkserver`` the CSR arrays are published
+  to shared memory and attached zero-copy, so only the derived indexes are
+  pickled — once per publish, never per worker or per query;
+* :class:`DaemonExecutor` — routes chunks to a persistent, warm
+  :class:`~repro.engine.daemons.DaemonPool` owned by the engine; workers keep
+  the shared-memory state attached across batches.
 
 Cross-process determinism note: ``fork`` children inherit the parent's hash
 seed, so any iteration order the algorithms derive from Python hashing is
@@ -35,7 +39,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.exceptions import EngineError
-from repro.engine.prepared import PreparedGraph
+from repro.engine.prepared import PreparedGraph, publish_state
 from repro.engine.queries import REACH, SIMULATION, SUBGRAPH
 
 Task = Tuple[str, float, Sequence[Any]]
@@ -104,6 +108,25 @@ def _initialize_worker_from_parent(token: int) -> None:
     _WORKER_STATE = _PARENT_STATES[token]
 
 
+# The worker's attached handle is parked globally so the shared segments stay
+# mapped for the life of the pool, not just the initializer call.
+_WORKER_HANDLE: Optional[Any] = None
+
+
+def _initialize_worker_shared(handle: Any) -> None:
+    """Non-fork pool initializer: attach published shared-memory state.
+
+    ``handle`` is a :class:`~repro.engine.prepared.SharedPreparedGraph` that
+    pickles as segment *names* (a few hundred bytes); the worker attaches the
+    CSR arrays zero-copy and unpickles only the derived indexes.  This is the
+    ``spawn``/``forkserver`` analogue of the fork-side copy-on-write path —
+    without it, ``initargs`` would pickle the full prepared state per worker.
+    """
+    global _WORKER_STATE, _WORKER_HANDLE
+    _WORKER_HANDLE = handle
+    _WORKER_STATE = handle.attach()
+
+
 def _run_task_in_worker(payload: Tuple[Any, Any]) -> List[Any]:
     """Entry point executed inside a worker process.
 
@@ -117,7 +140,16 @@ def _run_task_in_worker(payload: Tuple[Any, Any]) -> List[Any]:
 
 
 def _process_context():
-    """Prefer ``fork`` (cheap state shipping, inherited hash seed)."""
+    """Prefer ``fork`` (cheap state shipping, inherited hash seed).
+
+    ``REPRO_MP_START_METHOD`` overrides the choice (``fork``/``spawn``/
+    ``forkserver``) — used by tests to exercise the non-fork shipping path
+    on Linux, and available as an escape hatch on platforms where forking a
+    threaded parent misbehaves.
+    """
+    override = os.environ.get("REPRO_MP_START_METHOD")
+    if override:
+        return multiprocessing.get_context(override)
     try:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -183,6 +215,7 @@ class ProcessExecutor:
         context = _process_context()
         forking = context.get_start_method() == "fork"
         token = None
+        handle = None
         if forking:
             global _PARENT_TOKEN
             with _PARENT_LOCK:
@@ -190,8 +223,13 @@ class ProcessExecutor:
                 token = _PARENT_TOKEN
             _PARENT_STATES[token] = state
             initializer, initargs = _initialize_worker_from_parent, (token,)
-        else:  # pragma: no cover - non-fork platforms
-            initializer, initargs = _initialize_worker, (state,)
+        else:
+            # Non-fork start methods pickle ``initargs`` per worker; for
+            # multi-hundred-megabyte prepared state that would dwarf the
+            # batch.  Publish the state to shared memory instead and ship
+            # only the segment names — the worker attaches zero-copy.
+            handle = publish_state(state)
+            initializer, initargs = _initialize_worker_shared, (handle,)
         try:
             with ProcessPoolExecutor(
                 max_workers=self.workers,
@@ -205,18 +243,58 @@ class ProcessExecutor:
         finally:
             if token is not None:
                 _PARENT_STATES.pop(token, None)
+            if handle is not None:
+                handle.close()
+
+
+class DaemonExecutor:
+    """Warm-pool executor backed by persistent worker daemons.
+
+    Unlike the other executors this one does not own its workers: the engine
+    that constructed it calls :meth:`bind` with its long-lived
+    :class:`~repro.engine.daemons.DaemonPool` and a state-version token
+    before dispatching.  The pool keeps the shared-memory state attached in
+    the workers across batches, so steady-state batches ship only
+    ``(kind, alpha, queries)`` chunks — no pool startup, no state pickling.
+    """
+
+    name = "daemon"
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = max(1, workers or default_workers())
+        self._pool: Optional[Any] = None
+        self._version: Any = None
+
+    def bind(self, pool: Any, version: Any = None) -> "DaemonExecutor":
+        """Attach the engine's pool (and its current state version)."""
+        self._pool = pool
+        self.workers = pool.workers
+        self._version = version
+        return self
+
+    def run(self, state: Any, tasks: Sequence[Any], chunk_fn=answer_chunk) -> List[List[Any]]:
+        """Chunk results, in task order, computed by the bound pool."""
+        if not tasks:  # fully-warm batches never touch (or require) the pool
+            return []
+        if self._pool is None:
+            raise EngineError(
+                "the daemon executor needs a bound DaemonPool; run it through "
+                "QueryEngine/ShardedEngine (which own the pool) instead of make_executor()"
+            )
+        return self._pool.run(state, tasks, chunk_fn=chunk_fn, version=self._version)
 
 
 EXECUTORS = {
     SerialExecutor.name: SerialExecutor,
     ThreadExecutor.name: ThreadExecutor,
     ProcessExecutor.name: ProcessExecutor,
+    DaemonExecutor.name: DaemonExecutor,
 }
 """Executor registry keyed by CLI/engine name."""
 
 
 def make_executor(name: str, workers: Optional[int] = None):
-    """Build an executor by name (``serial``, ``thread`` or ``process``)."""
+    """Build an executor by name (``serial``, ``thread``, ``process``, ``daemon``)."""
     try:
         factory = EXECUTORS[name]
     except KeyError:

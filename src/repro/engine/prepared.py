@@ -14,9 +14,11 @@ copy-on-write and never serialised at all.
 
 from __future__ import annotations
 
+import io
+import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Set
+from typing import Any, Dict, Iterator, Mapping, Optional, Set
 
 from repro.core.rbsim import RBSim, RBSimConfig
 from repro.core.rbsub import RBSub, RBSubConfig
@@ -332,6 +334,21 @@ class PreparedGraph:
             self.neighborhood_index().precompute()
             self._neighborhood_precomputed = True
 
+    def state_signature(self) -> tuple:
+        """Hashable token of which derived structures currently exist.
+
+        The daemon pool republishes shared state when this changes between
+        batches (a new α index built, matchers dropped by an update or a
+        budget retarget), so long-lived workers never serve stale state.
+        """
+        return (
+            tuple(sorted(self._indexes)),
+            tuple(sorted(self._rbsim)),
+            tuple(sorted(self._rbsub)),
+            self._neighborhood_precomputed,
+            self._compressed is not None,
+        )
+
     # ------------------------------------------------------------------ #
     # Incremental updates
     # ------------------------------------------------------------------ #
@@ -492,3 +509,154 @@ class PreparedGraph:
         self._statistics = None
         self._maintainer = None
         self._max_degree_cache = None
+
+
+# ----------------------------------------------------------------------- #
+# Shared-memory publication (daemon pools, spawn-start process pools)
+# ----------------------------------------------------------------------- #
+class _SubstitutingPickler(pickle.Pickler):
+    """Pickler that swaps registered objects for persistent-id tokens.
+
+    Used to publish prepared state without serialising the CSR substrate:
+    every registered graph object (by identity) pickles as a token the
+    unpickler resolves to the shared-memory attachment instead.
+    """
+
+    def __init__(self, file: io.BytesIO, substitutes: Dict[int, str]):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._substitutes = substitutes
+
+    def persistent_id(self, obj: Any) -> Optional[str]:
+        return self._substitutes.get(id(obj))
+
+
+class _ResolvingUnpickler(pickle.Unpickler):
+    """Unpickler resolving persistent-id tokens to attached shared graphs."""
+
+    def __init__(self, file: io.BytesIO, resolved: Dict[str, Any]):
+        super().__init__(file)
+        self._resolved = resolved
+
+    def persistent_load(self, key: Any) -> Any:
+        try:
+            return self._resolved[key]
+        except KeyError:  # pragma: no cover - publish/attach always agree
+            raise EngineError(f"shared state payload references unknown segment {key!r}") from None
+
+
+def _prepared_components(state: Any) -> "Iterator[PreparedGraph]":
+    """Every :class:`PreparedGraph` reachable inside a publishable state.
+
+    The engine publishes a bare prepared graph; the sharded engine publishes
+    a mapping of per-shard states each carrying a ``prepared`` attribute.
+    """
+    if isinstance(state, PreparedGraph):
+        yield state
+    elif isinstance(state, Mapping):
+        for value in state.values():
+            prepared = getattr(value, "prepared", None)
+            if isinstance(prepared, PreparedGraph):
+                yield prepared
+
+
+class SharedPreparedGraph:
+    """Pickle-light handle to prepared state whose CSR arrays are shared.
+
+    :meth:`publish` exports every CSR substrate (and condensation DAG
+    mirror) found in the state into shared-memory segments
+    (:meth:`CSRGraph.to_shared`) and pickles the *rest* — indexes, matchers,
+    summaries — once, with the big graphs replaced by attach-by-name
+    tokens.  Workers call :meth:`attach` to rebuild the state: the derived
+    structures unpickle, the graphs resolve to zero-copy views of the
+    shared pages.  ``state`` may be a :class:`PreparedGraph` or the sharded
+    engine's ``{shard_id: ShardState}`` table; states with no CSR substrate
+    (``mirror="never"``) degrade gracefully to a plain pickled payload.
+
+    The publishing process owns the segments: :meth:`close` unlinks them.
+    Unpickled copies (in workers) only ever detach.
+    """
+
+    def __init__(self, payload: bytes, segments: Dict[str, Any]):
+        self._payload = payload
+        self._segments = segments
+        self._closed = False
+
+    @classmethod
+    def publish(cls, state: Any) -> "SharedPreparedGraph":
+        """Export ``state`` for cross-process attachment."""
+        try:
+            from repro.graph.csr import CSRGraph
+        except ImportError:  # pragma: no cover - numpy normally present
+            CSRGraph = None  # type: ignore[assignment]
+        segments: Dict[str, Any] = {}
+        substitutes: Dict[int, str] = {}
+
+        def share(graph: Any) -> Optional[str]:
+            if CSRGraph is None or not isinstance(graph, CSRGraph):
+                return None
+            token = substitutes.get(id(graph))
+            if token is None:
+                token = f"csr{len(segments)}"
+                segments[token] = graph.to_shared()
+                substitutes[id(graph)] = token
+            return token
+
+        for prepared in _prepared_components(state):
+            substrate = prepared.graph
+            token = share(substrate)
+            if token is None and isinstance(substrate, MutableOverlay):
+                # Post-update serving: the overlay deltas are small and
+                # pickle; its frozen base is the big array payload.
+                share(substrate.base)
+            if token is not None and prepared.original is not substrate:
+                # Workers never consult the pre-freeze graph; resolving it
+                # to the shared substrate keeps the multi-hundred-MB source
+                # DiGraph out of the payload (order-exact mirror, so
+                # membership/label reads agree).
+                substitutes.setdefault(id(prepared.original), token)
+            compressed = prepared._compressed
+            if compressed is not None:
+                share(getattr(compressed, "dag_csr", None))
+
+        buffer = io.BytesIO()
+        _SubstitutingPickler(buffer, substitutes).dump(state)
+        return cls(buffer.getvalue(), segments)
+
+    def attach(self) -> Any:
+        """Rebuild the state in this process (zero-copy graph arrays)."""
+        if self._closed:
+            raise EngineError("shared prepared state is closed")
+        resolved = {token: handle.graph for token, handle in self._segments.items()}
+        return _ResolvingUnpickler(io.BytesIO(self._payload), resolved).load()
+
+    def segment_names(self) -> "list[str]":
+        """Names of the shared segments backing this handle."""
+        return sorted(handle.name for handle in self._segments.values())
+
+    @property
+    def payload_bytes(self) -> int:
+        """Size of the pickled non-array payload (telemetry)."""
+        return len(self._payload)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release every segment (unlink when owning).  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._segments.values():
+            handle.close()
+
+    def __enter__(self) -> "SharedPreparedGraph":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def publish_state(state: Any) -> SharedPreparedGraph:
+    """Publish any executor state (engine or sharded) for worker attachment."""
+    return SharedPreparedGraph.publish(state)

@@ -62,6 +62,17 @@ class EngineError(ReproError):
     """Raised when the batched query engine is configured or used incorrectly."""
 
 
+class DaemonError(EngineError):
+    """Raised when the persistent worker-daemon pool cannot serve a batch.
+
+    Subclasses :class:`EngineError` so callers of ``run_batch`` handle
+    daemon failures (a worker crashing repeatedly on the same chunk, a pool
+    used after ``close()``) with the same clause as every other engine
+    misuse; transient single-worker crashes are *not* errors — the pool
+    restarts the worker and retries the chunk.
+    """
+
+
 class ShardError(ReproError):
     """Raised when the sharded serving layer is configured or used incorrectly."""
 
@@ -82,6 +93,7 @@ class ExperimentError(ReproError):
 __all__ = [
     "BudgetError",
     "BudgetExhaustedError",
+    "DaemonError",
     "EdgeNotFoundError",
     "EngineError",
     "ExperimentError",

@@ -41,6 +41,20 @@ except ImportError:  # pragma: no cover - numpy is normally available
         @classmethod
         def from_edges(cls, *args, **kwargs):
             raise ImportError("the CSR graph backend requires numpy; install numpy to use CSRGraph")
+
+
+try:  # Shared-memory tier rides on the CSR backend (numpy).
+    from repro.graph.shm import SEGMENT_PREFIX, SharedCSRGraph
+except ImportError:  # pragma: no cover - numpy is normally available
+    SEGMENT_PREFIX = "repro_shm_"  # type: ignore[assignment]
+
+    class SharedCSRGraph:  # type: ignore[no-redef]
+        """Placeholder that fails loudly when numpy is unavailable."""
+
+        def __init__(self, *args, **kwargs):
+            raise ImportError("shared-memory graphs require numpy; install numpy to use SharedCSRGraph")
+
+
 from repro.graph.generators import (
     DEFAULT_ALPHABET,
     community_graph,
@@ -121,6 +135,8 @@ __all__ = [
     "GraphLike",
     "Label",
     "NodeId",
+    "SEGMENT_PREFIX",
+    "SharedCSRGraph",
     "SimulationCompressedGraph",
     "bisimulation_partition",
     "compress_for_simulation",

@@ -415,6 +415,35 @@ class CSRGraph:
         return graph
 
     # ------------------------------------------------------------------ #
+    # Shared memory
+    # ------------------------------------------------------------------ #
+    def to_shared(self, name: Optional[str] = None):
+        """Export this graph into a ``multiprocessing.shared_memory`` segment.
+
+        Returns an *owning* :class:`~repro.graph.shm.SharedCSRGraph` handle:
+        worker processes attach the same physical pages by name
+        (:meth:`from_shared`) instead of receiving a pickled copy, and the
+        handle's ``close()`` unlinks the segment.  See
+        :mod:`repro.graph.shm` for the naming/cleanup contract.
+        """
+        from repro.graph.shm import SharedCSRGraph
+
+        return SharedCSRGraph.create(self, name=name)
+
+    @classmethod
+    def from_shared(cls, name: str):
+        """Attach a segment created by :meth:`to_shared`, by name.
+
+        Returns a non-owning :class:`~repro.graph.shm.SharedCSRGraph`
+        handle; its ``.graph`` is a :class:`CSRGraph` whose arrays are
+        read-only zero-copy views of the shared pages.  Closing the handle
+        detaches but never unlinks — only the creating handle does that.
+        """
+        from repro.graph.shm import SharedCSRGraph
+
+        return SharedCSRGraph.attach(name)
+
+    # ------------------------------------------------------------------ #
     # Index mapping
     # ------------------------------------------------------------------ #
     def index_of(self, node: NodeId) -> int:

@@ -143,8 +143,13 @@ class RBReach:
 
     @staticmethod
     def _meeting_point(forward_active: Set[NodeId], backward_active: Set[NodeId]) -> Optional[NodeId]:
+        # Deterministic choice: set iteration order depends on insertion
+        # history, which a pickle round-trip (shared-memory publication to
+        # the daemon workers) rewrites — ``next(iter(...))`` here would break
+        # the bit-parity contract between the serial path and attached
+        # workers.  The repr key matches the frontier heap's tie-break.
         common = forward_active & backward_active
-        return next(iter(common)) if common else None
+        return min(common, key=repr) if common else None
 
     def _guard(self, landmark: NodeId, source_rank: int, target_rank: int) -> bool:
         """Lemma 5(2): prune landmarks whose range cannot straddle the query."""

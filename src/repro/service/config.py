@@ -55,7 +55,14 @@ class ServiceConfig:
     executor / workers:
         ``auto`` lets the planner choose the executor per batch from the
         batch size and the schedulable core count; naming an executor
-        (``serial`` / ``thread`` / ``process``) forces it for every batch.
+        (``serial`` / ``thread`` / ``process`` / ``daemon``) forces it for
+        every batch.
+    use_daemons:
+        Whether the planner's ``auto`` parallel route targets the warm
+        daemon pool (the default — pool startup and state shipping amortise
+        across batches) or the per-batch process pool (``False``; for
+        one-shot workloads, or when long-lived worker processes are
+        unwanted).  Ignored when ``executor`` names an executor explicitly.
     num_shards / shard_method / halo_depth / shard_policy:
         ``num_shards > 1`` serves through a lazily-built
         :class:`~repro.shard.ShardedEngine` under ``shard_policy``
@@ -84,6 +91,7 @@ class ServiceConfig:
     alpha: float = 0.02
     executor: str = AUTO
     workers: Optional[int] = None
+    use_daemons: bool = True
     num_shards: int = 1
     shard_method: str = GREEDY
     halo_depth: int = DEFAULT_HALO_DEPTH
@@ -192,6 +200,15 @@ def service_flag_parent() -> argparse.ArgumentParser:
         type=_workers_flag,
         default=defaults.workers,
         help="worker count for parallel executors (default: all schedulable cores)",
+    )
+    parent.add_argument(
+        "--no-daemons",
+        dest="use_daemons",
+        action="store_const",
+        const=False,
+        default=None,
+        help="make the auto planner use per-batch process pools instead of "
+        "the warm daemon pool (answers are identical either way)",
     )
     return parent
 

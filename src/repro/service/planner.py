@@ -129,11 +129,17 @@ class Planner:
                 f"{config.parallel_threshold}, pool startup would dominate",
             )
         workers = config.workers or cores
+        # Prefer the warm daemon pool: it amortises pool startup and state
+        # shipping across batches, so everything the per-batch process pool
+        # wins, it wins by more.  ``use_daemons=False`` restores the
+        # per-batch pool (for one-shot workloads that would never reuse the
+        # daemons, or when long-lived worker processes are unwanted).
+        executor = "daemon" if config.use_daemons else "process"
         return (
-            "process",
+            executor,
             workers,
             f"auto: batch of {num_queries} on a size-{graph_size} graph, "
-            f"{workers} workers",
+            f"{workers} {executor} workers",
         )
 
     def plan_batch(

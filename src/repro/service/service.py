@@ -272,7 +272,7 @@ class GraphService:
         return self
 
     def close(self) -> None:
-        """End the session: stop the async front-end, drop engine state.
+        """End the session: stop the async front-end, daemons, engine state.
 
         Idempotent; any call after ``close`` raises :class:`ServiceError`.
         """
@@ -283,6 +283,10 @@ class GraphService:
             if self._frontend is not None:
                 self._frontend.close()
                 self._frontend = None
+            if self._engine is not None:
+                self._engine.close()  # warm daemons + their shared segments
+            if self._sharded is not None:
+                self._sharded.close()
             self._engine = None
             self._sharded = None
 

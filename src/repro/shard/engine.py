@@ -46,6 +46,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.rbsim import PatternAnswer, RBSim, RBSimConfig
 from repro.core.rbsub import RBSub, RBSubConfig
+from repro.engine.daemons import DaemonPool
 from repro.engine.engine import EngineQuery, UpdateReport
 from repro.engine.executors import make_executor
 from repro.engine.prepared import PreparedGraph
@@ -259,6 +260,11 @@ class ShardedEngine:
         )
         self._boundary: Optional[BoundaryGraph] = None
         self._working: Optional[DiGraph] = None
+        # Warm daemon pool (created on first ``executor="daemon"`` batch);
+        # the epoch versions the shard states the daemons hold, alongside
+        # each shard's prepared-state signature.
+        self._daemon_pool: Optional[DaemonPool] = None
+        self._states_epoch = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -276,6 +282,46 @@ class ShardedEngine:
                 self.shards, self.partition, boundary_alpha=self._boundary_alpha
             )
         return self._boundary
+
+    def daemon_pool(self, workers: Optional[int] = None) -> DaemonPool:
+        """The engine's warm worker pool, created on first use.
+
+        Daemons hold the full shard-state table attached (every shard's CSR
+        arrays live in shared memory), so steady-state scatter batches ship
+        only query chunks.  Pair with :meth:`close` — or use the engine as a
+        context manager — to tear the daemons and their segments down.
+        """
+        if self._daemon_pool is None or self._daemon_pool.closed:
+            self._daemon_pool = DaemonPool(workers)
+        return self._daemon_pool
+
+    def close(self) -> None:
+        """Shut down the daemon pool (if any); idempotent, engine stays usable."""
+        if self._daemon_pool is not None:
+            self._daemon_pool.close()
+            self._daemon_pool = None
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _states_version(self) -> Tuple[Any, ...]:
+        """Version token for the daemon-held shard states.
+
+        Changes exactly when the daemons' attached state must change: an
+        absorbed update (epoch), the boundary graph coming into existence,
+        or any shard lazily building new prepared state (signatures).
+        """
+        return (
+            self._states_epoch,
+            self._boundary is not None,
+            tuple(
+                (shard_id, self.shards[shard_id].prepared.state_signature())
+                for shard_id in sorted(self.shards)
+            ),
+        )
 
     def describe(self) -> Dict[str, Any]:
         """Partition/boundary statistics for reporting."""
@@ -401,7 +447,7 @@ class ShardedEngine:
         multi = self.num_shards > 1
         if multi and (reach_items or probe_items):
             self.boundary  # built before states are assembled and shipped
-        eager = runner.name == "process"
+        eager = runner.name in ("process", "daemon")
         for shard_id in set(reach_items) | set(probe_items):
             self.shards[shard_id].prepared.prepare(REACH, alpha)
         for shard_id, kind in pattern_items:
@@ -451,6 +497,12 @@ class ShardedEngine:
             for chunk in _chunk(items, chunk_size):
                 tasks.append((kind, shard_id, alpha, chunk, None))
         report.chunks = len(tasks)
+
+        # Bind the daemon runner after shard preparation so the version token
+        # reflects what this batch needs; the fresh per-batch ``states`` dict
+        # is only republished when the token moves.
+        if runner.name == "daemon" and tasks:
+            runner.bind(self.daemon_pool(workers), version=self._states_version())
 
         chunk_results = runner.run(states, tasks, chunk_fn=answer_shard_chunk)
 
@@ -578,6 +630,9 @@ class ShardedEngine:
         working = self._ensure_working()
         placements = self._place_new_nodes(delta)
         fast_shard = self._fast_path_shard(delta, placements)
+        # Any update (even a failed one, whose op prefix landed) must move
+        # the epoch so warm daemons republish instead of serving stale state.
+        self._states_epoch += 1
 
         try:
             delta.apply_to(working)

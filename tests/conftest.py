@@ -1,12 +1,50 @@
-"""Shared fixtures: the Figure 1 social graph, small surrogates, and patterns."""
+"""Shared fixtures: the Figure 1 social graph, small surrogates, and patterns.
+
+Also the session-wide shared-memory leak check: every test session asserts,
+at teardown, that no ``repro_shm_*`` segment survives in ``/dev/shm`` — the
+cleanup contract of :mod:`repro.graph.shm` (owner closes ⇒ name unlinked),
+enforced for the whole suite rather than test by test.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import preferential_attachment_graph, random_graph
 from repro.patterns.pattern import GraphPattern, example1_pattern
+
+SHM_DIR = "/dev/shm"
+
+
+def _repro_segments() -> "list[str]":
+    """Live ``repro_shm_*`` names in ``/dev/shm`` (empty off-POSIX)."""
+    from repro.graph.shm import SEGMENT_PREFIX
+
+    try:
+        entries = os.listdir(SHM_DIR)
+    except OSError:  # pragma: no cover - no /dev/shm on this platform
+        return []
+    return sorted(entry for entry in entries if entry.startswith(SEGMENT_PREFIX))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shm_leak_check():
+    """Fail the session if any test leaks a shared-memory segment.
+
+    Pre-existing segments (a crashed earlier run, a concurrent session) are
+    excluded so the check only blames this session's tests.
+    """
+    before = set(_repro_segments())
+    yield
+    leaked = [name for name in _repro_segments() if name not in before]
+    assert not leaked, (
+        f"shared-memory segments leaked by this test session: {leaked}; "
+        "every SharedCSRGraph owner must be closed (engines: call close() "
+        "or use the context manager)"
+    )
 
 
 def build_example1_graph() -> DiGraph:

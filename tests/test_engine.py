@@ -22,6 +22,7 @@ from repro.engine import (
 from repro.exceptions import EngineError
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
+from repro.updates.delta import GraphDelta
 from repro.workloads.queries import (
     generate_pattern_workload,
     generate_reachability_workload,
@@ -115,22 +116,45 @@ class TestConstruction:
 
 
 class TestExecutorParity:
-    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @pytest.mark.parametrize("executor", ["thread", "process", "daemon"])
     @pytest.mark.parametrize("workers", [1, 2, 4])
     def test_reach_parity(self, served_graph, reach_queries, executor, workers):
-        engine = QueryEngine(served_graph, cache_size=0)
-        serial = engine.answer_batch(reach_queries, ALPHA)
-        parallel = engine.answer_batch(reach_queries, ALPHA, executor=executor, workers=workers)
+        with QueryEngine(served_graph, cache_size=0) as engine:
+            serial = engine.answer_batch(reach_queries, ALPHA)
+            parallel = engine.answer_batch(
+                reach_queries, ALPHA, executor=executor, workers=workers
+            )
         assert [_reach_signature(a) for a in serial] == [_reach_signature(a) for a in parallel]
 
-    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @pytest.mark.parametrize("executor", ["thread", "process", "daemon"])
     def test_pattern_parity(self, served_graph, pattern_queries, executor):
-        engine = QueryEngine(served_graph, cache_size=0)
-        serial = engine.answer_batch(pattern_queries, ALPHA)
-        parallel = engine.answer_batch(pattern_queries, ALPHA, executor=executor, workers=2)
+        with QueryEngine(served_graph, cache_size=0) as engine:
+            serial = engine.answer_batch(pattern_queries, ALPHA)
+            parallel = engine.answer_batch(pattern_queries, ALPHA, executor=executor, workers=2)
         assert [_pattern_signature(a) for a in serial] == [
             _pattern_signature(a) for a in parallel
         ]
+
+    def test_daemon_parity_across_update(self, served_graph, reach_queries):
+        """Warm daemons republish after ``update``: answers stay bit-identical."""
+        delta = GraphDelta()
+        nodes = list(served_graph.nodes())[:8]
+        for source, target in zip(nodes, nodes[1:]):
+            delta.add_edge(source, target)
+        with QueryEngine(served_graph, cache_size=0) as engine:
+            before = engine.answer_batch(reach_queries, ALPHA, executor="daemon", workers=2)
+            assert [_reach_signature(a) for a in before] == [
+                _reach_signature(a) for a in engine.answer_batch(reach_queries, ALPHA)
+            ]
+            pool = engine.daemon_pool()
+            pids = pool.worker_pids()
+            engine.update(delta)
+            after = engine.answer_batch(reach_queries, ALPHA, executor="daemon", workers=2)
+            # Same warm workers, republished state, serial-identical answers.
+            assert pool.worker_pids() == pids
+            assert [_reach_signature(a) for a in after] == [
+                _reach_signature(a) for a in engine.answer_batch(reach_queries, ALPHA)
+            ]
 
     def test_mixed_kind_batch_parity(self, served_graph, reach_queries, pattern_queries):
         engine = QueryEngine(served_graph, cache_size=0)

@@ -216,9 +216,14 @@ class TestPlanner:
     def test_auto_large_batch_goes_parallel(self):
         planner = Planner(ServiceConfig())
         plan = planner.plan_batch(256, graph_size=10**6, cores=8)
-        assert (plan.backend, plan.executor) == (PARALLEL, "process")
+        assert (plan.backend, plan.executor) == (PARALLEL, "daemon")
         assert plan.workers == 8
         assert plan.parallel
+
+    def test_auto_without_daemons_uses_process_pool(self):
+        planner = Planner(ServiceConfig(use_daemons=False))
+        plan = planner.plan_batch(256, graph_size=10**6, cores=8)
+        assert (plan.backend, plan.executor) == (PARALLEL, "process")
 
     def test_auto_respects_configured_worker_cap(self):
         planner = Planner(ServiceConfig(workers=2))

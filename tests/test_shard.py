@@ -39,7 +39,7 @@ from repro.workloads.queries import generate_pattern_workload, sample_mixed_pair
 
 ALPHA = 0.1
 KS = (1, 2, 4)
-EXECUTORS = ("serial", "thread", "process")
+EXECUTORS = ("serial", "thread", "process", "daemon")
 
 
 def clustered_graph(clusters=4, size=60, chords=2, bridges=3, seed=1) -> DiGraph:
@@ -104,7 +104,10 @@ def baseline(graph, reach_queries):
 
 @pytest.fixture(scope="module")
 def sharded_engines(graph):
-    return {k: ShardedEngine(graph, num_shards=k, seed=7) for k in KS}
+    engines = {k: ShardedEngine(graph, num_shards=k, seed=7) for k in KS}
+    yield engines
+    for engine in engines.values():
+        engine.close()  # daemon pools + their shared segments
 
 
 # --------------------------------------------------------------------------- #
@@ -415,6 +418,23 @@ class TestShardedUpdates:
                 assert reach_signature(
                     sharded.answer_batch(reach_queries, ALPHA)
                 ) == reach_signature(single.answer_batch(reach_queries, ALPHA)), mix
+
+    def test_daemon_parity_across_update(self, graph, reach_queries):
+        """Warm daemons track sharded updates: scatter answers stay serial-identical."""
+        with ShardedEngine(graph.copy(), num_shards=2, seed=7) as engine:
+            stream = generate_delta_stream(graph, batches=2, ops_per_batch=15, mix="growth", seed=29)
+            for delta in stream:
+                serial = reach_signature(engine.answer_batch(reach_queries, ALPHA))
+                daemon = reach_signature(
+                    engine.run_batch(reach_queries, ALPHA, executor="daemon", workers=2).answers
+                )
+                assert daemon == serial
+                engine.update(delta)
+            serial = reach_signature(engine.answer_batch(reach_queries, ALPHA))
+            daemon = reach_signature(
+                engine.run_batch(reach_queries, ALPHA, executor="daemon", workers=2).answers
+            )
+            assert daemon == serial
 
     def test_confined_churn_takes_the_local_path(self, graph, reach_queries):
         engine = ShardedEngine(graph, num_shards=4, seed=7, halo_depth=1)
