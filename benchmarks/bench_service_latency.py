@@ -1,0 +1,204 @@
+"""Benchmark: open-loop tail latency of the async serving front-end.
+
+A closed-loop driver (send, wait, send) hides queueing: when the server
+slows down, the driver slows down with it, and the measured latencies stay
+flattering.  This harness is **open-loop**: every request has a scheduled
+arrival time drawn ahead of the run (seeded Poisson inter-arrivals, plus a
+periodic burst schedule), each arrival awaits ``service.submit`` at its
+scheduled instant regardless of how the previous ones are doing, and the
+recorded latency is *completion minus scheduled arrival* — so backlog and
+admission-control queueing count against the tail, exactly as a client
+would experience them.
+
+Percentiles (p50/p99/p999) come from the ``repro.obs`` latency histogram,
+the same estimator the serving stack exports, so a number read off a
+production snapshot and a number in ``BENCH_latency.json`` mean the same
+thing.
+
+The 2-second-per-schedule default is the CI smoke mode; the nightly run
+exercises the same sweep through ``repro-bench report --suite latency``
+and appends the tail percentiles to the trajectory.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_service_latency.py -q
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from conftest import BENCH_SEED, REPORT_DIR
+
+ALPHA = 0.05
+DATASET = "youtube-small"
+POOL_SIZE = 512          # distinct requests cycled through the schedules
+RATES = (50.0, 200.0)    # Poisson arrival rates, queries/second
+BURST_INTERVAL = 0.25    # seconds between burst fronts
+DURATION = 2.0           # seconds per schedule (smoke mode)
+# Generous SLO for the smoke assertion: a shared CI runner answering a
+# sub-millisecond workload must still keep p99 under a quarter second.
+SLO_P99_MS = 250.0
+
+
+def _report(lines):
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
+    path = REPORT_DIR / "service_latency.txt"
+    with path.open("a", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+
+
+def _poisson_schedule(rate: float, duration: float, rng) -> list:
+    """Scheduled arrival offsets with exponential inter-arrival gaps."""
+    offsets, clock = [], 0.0
+    while True:
+        clock += rng.expovariate(rate)
+        if clock >= duration:
+            return offsets
+        offsets.append(clock)
+
+
+def _burst_schedule(rate: float, duration: float) -> list:
+    """The same average rate delivered as periodic simultaneous fronts."""
+    per_burst = max(1, round(rate * BURST_INTERVAL))
+    offsets, clock = [], 0.0
+    while clock < duration:
+        offsets.extend([clock] * per_burst)
+        clock += BURST_INTERVAL
+    return offsets
+
+
+async def _drive(service, requests, offsets, alpha):
+    """Run one open-loop schedule; return latencies in seconds, in order."""
+
+    loop = asyncio.get_running_loop()
+    origin = loop.time()
+
+    async def one(index: int, offset: float) -> float:
+        arrival = origin + offset
+        delay = arrival - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        await service.submit(requests[index % len(requests)], alpha=alpha)
+        # Latency from the *scheduled* arrival: if the server (or the
+        # admission queue) fell behind, the backlog is charged to us.
+        return loop.time() - arrival
+
+    return await asyncio.gather(*(one(i, off) for i, off in enumerate(offsets)))
+
+
+def _summarise(label: str, latencies) -> dict:
+    from repro.obs.metrics import Histogram
+
+    histogram = Histogram(label)
+    for value in latencies:
+        histogram.observe(value)
+    return {
+        f"{label}_arrivals": len(latencies),
+        f"{label}_p50_ms": round(histogram.percentile(0.50) * 1000, 3),
+        f"{label}_p99_ms": round(histogram.percentile(0.99) * 1000, 3),
+        f"{label}_p999_ms": round(histogram.percentile(0.999) * 1000, 3),
+        f"{label}_mean_ms": round(histogram.mean * 1000, 3),
+        f"{label}_max_ms": round(histogram.max * 1000, 3),
+    }
+
+
+def measure_service_latency(
+    seed: int = BENCH_SEED,
+    duration: float = DURATION,
+    rates=RATES,
+) -> dict:
+    """The measurement backing this benchmark and the ``latency`` CI suite."""
+    import random
+
+    from repro.engine import default_workers
+    from repro.service import GraphService, ReachRequest, ServiceConfig
+    from repro.workloads.datasets import load_dataset
+    from repro.workloads.queries import sample_mixed_pairs
+
+    graph = load_dataset(DATASET, seed=seed)
+    pairs = sample_mixed_pairs(graph, POOL_SIZE, seed=seed)
+    requests = [ReachRequest(source, target) for source, target in pairs]
+
+    # cache_size=0: every arrival does real engine work, so the tail
+    # reflects evaluation + queueing rather than dictionary lookups.
+    service = GraphService(
+        graph, ServiceConfig(executor="serial", cache_size=0, alpha=ALPHA)
+    )
+    result = {
+        "dataset": DATASET,
+        "alpha": ALPHA,
+        "duration_seconds": duration,
+        "rates": [float(rate) for rate in rates],
+        "cores": default_workers(),
+    }
+    with service:
+        service.prepare()
+        service.run_batch(requests[:64])  # warm the prepared indexes
+
+        rng = random.Random(seed)
+        schedules = [
+            (f"poisson_{int(rate)}", _poisson_schedule(rate, duration, rng))
+            for rate in rates
+        ]
+        # One burst schedule at the highest swept rate: same average load,
+        # worst-case arrival pattern for the admission queue.
+        schedules.append(
+            (f"burst_{int(max(rates))}", _burst_schedule(max(rates), duration))
+        )
+        for label, offsets in schedules:
+            # Each asyncio.run gets a fresh loop; admission state rebinds.
+            latencies = asyncio.run(_drive(service, requests, offsets, ALPHA))
+            result.update(_summarise(label, latencies))
+    return result
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    result = measure_service_latency()
+    lines = []
+    for label in [f"poisson_{int(rate)}" for rate in RATES] + [
+        f"burst_{int(max(RATES))}"
+    ]:
+        lines.append(
+            f"{label}: n={result[f'{label}_arrivals']} "
+            f"p50={result[f'{label}_p50_ms']:.2f}ms "
+            f"p99={result[f'{label}_p99_ms']:.2f}ms "
+            f"p999={result[f'{label}_p999_ms']:.2f}ms "
+            f"max={result[f'{label}_max_ms']:.2f}ms"
+        )
+    _report(lines)
+    return result
+
+
+def test_schedules_delivered(metrics):
+    """Every schedule produced arrivals and every arrival was answered."""
+    for rate in RATES:
+        label = f"poisson_{int(rate)}"
+        # Poisson(rate · duration) arrivals; even 3 sigma low is > half.
+        assert metrics[f"{label}_arrivals"] > rate * metrics["duration_seconds"] / 2
+    assert metrics[f"burst_{int(max(RATES))}_arrivals"] >= max(RATES) * BURST_INTERVAL
+
+
+def test_tail_ordering(metrics):
+    """Percentiles are monotone: p50 <= p99 <= p999 <= max."""
+    for rate in RATES:
+        label = f"poisson_{int(rate)}"
+        assert (
+            metrics[f"{label}_p50_ms"]
+            <= metrics[f"{label}_p99_ms"]
+            <= metrics[f"{label}_p999_ms"]
+            <= metrics[f"{label}_max_ms"] + 1e-9
+        )
+
+
+def test_latency_slo(metrics):
+    """Smoke SLO: open-loop p99 stays under the (generous) ceiling."""
+    for rate in RATES:
+        label = f"poisson_{int(rate)}"
+        assert metrics[f"{label}_p99_ms"] <= SLO_P99_MS, (
+            f"{label} p99 {metrics[f'{label}_p99_ms']:.1f}ms exceeds the "
+            f"{SLO_P99_MS:.0f}ms smoke SLO — the serving path has regressed "
+            "badly or the runner is badly oversubscribed"
+        )

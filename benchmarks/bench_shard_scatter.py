@@ -259,7 +259,8 @@ def test_scatter_gather_throughput(metrics):
         pytest.skip(
             f"only {cores} schedulable core(s): the >= {MIN_SHARD_SPEEDUP}x / "
             f"{MIN_WORKERS}-worker scatter-gather throughput claim needs >= "
-            f"{MIN_WORKERS} cores (the contract checks ran above)"
+            f"{MIN_WORKERS} cores (the contract checks ran above; "
+            "BENCH_shard.json marks the speedup metrics 'skipped' on such runners)"
         )
     assert metrics["shard_speedup"] >= MIN_SHARD_SPEEDUP, (
         f"sharded process throughput only {metrics['shard_speedup']:.2f}x the "

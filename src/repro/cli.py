@@ -203,6 +203,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also answer the batch on a single-graph service and report agreement + speedup",
     )
     shard_parser.add_argument("--output", type=Path, default=None, help="write a JSON report here")
+
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="pretty-print a metrics registry snapshot (from --metrics-json, or a fresh sample run)",
+        parents=[service_flags],
+    )
+    stats_parser.add_argument(
+        "--input",
+        type=Path,
+        default=None,
+        help="a JSON snapshot written by --metrics-json; omitted = answer a "
+        "sampled batch and print the live registry",
+    )
+    stats_parser.add_argument("--dataset", default="youtube-small", help="dataset for the sample run")
+    stats_parser.add_argument("--count", type=int, default=200, help="sampled workload size")
+    stats_parser.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -552,6 +568,33 @@ def _command_shard(args) -> int:
     return exit_code
 
 
+def _command_stats(args) -> int:
+    import json
+
+    from repro import obs
+    from repro.service import GraphService
+
+    if args.input is not None:
+        try:
+            snapshot = json.loads(args.input.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"could not read metrics snapshot {args.input}: {exc}")
+        print(obs.format_snapshot(snapshot))
+        return 0
+
+    # No snapshot given: answer a small sampled batch so the registry has
+    # something to show, then print the live registry.
+    config = config_from_args(args)
+    graph = load_dataset(args.dataset, seed=args.seed)
+    requests, _, _ = sample_requests(graph, "reach", args.count, "4,8", args.seed)
+    with GraphService(graph, config) as service:
+        service.prepare(reach_alphas=[config.alpha])
+        service.run_batch(requests)
+        service.run_batch(requests)  # second pass shows the cache counters
+    print(obs.format_snapshot(obs.snapshot()))
+    return 0
+
+
 def _command_run(
     experiments: List[str],
     scale: str,
@@ -580,10 +623,7 @@ def _command_run(
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    parser = _build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(parser: argparse.ArgumentParser, args) -> int:
     if args.command == "list":
         return _command_list()
     if args.command == "datasets":
@@ -604,8 +644,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_update(args)
     if args.command == "shard":
         return _command_shard(args)
+    if args.command == "stats":
+        return _command_stats(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    exit_code = _dispatch(parser, args)
+    # Every service-flag command accepts --metrics-json: dump the process
+    # registry after the command ran (including daemon-worker snapshots that
+    # merged back over the pipes), readable with `repro-bench stats --input`.
+    metrics_path = getattr(args, "metrics_json", None)
+    if metrics_path is not None:
+        from repro import obs
+
+        obs.write_snapshot(metrics_path)
+        print(f"(metrics written to {metrics_path})")
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

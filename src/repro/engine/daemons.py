@@ -40,12 +40,14 @@ import atexit
 import itertools
 import os
 import threading
+import time
 import traceback
 import weakref
 from collections import deque
 from multiprocessing import connection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.engine.executors import _process_context, answer_chunk, default_workers
 from repro.engine.prepared import SharedPreparedGraph, publish_state
 from repro.exceptions import DaemonError
@@ -70,11 +72,30 @@ def _close_leaked_pools() -> None:  # pragma: no cover - interpreter exit
 atexit.register(_close_leaked_pools)
 
 
-def _daemon_main(conn: Any) -> None:  # pragma: no cover - runs in worker processes
-    """Daemon loop: attach published state, answer chunks until told to stop."""
+def _daemon_main(conn: Any, metrics_enabled: bool = True) -> None:  # pragma: no cover - runs in worker processes
+    """Daemon loop: attach published state, answer chunks until told to stop.
+
+    The worker keeps its own process-local metrics registry and drains it
+    (snapshot + reset) into every ``ok``/``pong`` reply, so the parent can
+    merge each delta exactly once.  ``metrics_enabled`` is passed explicitly
+    because under ``spawn`` the child does not inherit the parent's
+    module-level enabled flag.
+    """
     import signal
 
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent coordinates shutdown
+    obs.set_enabled(metrics_enabled)
+    # Under ``fork`` the child starts with a *copy* of the parent's registry;
+    # without this reset its first drain would ship the parent's own counts
+    # back to the parent, which would merge them a second time.
+    obs.REGISTRY.reset()
+
+    def drained_stats() -> Optional[Dict[str, Any]]:
+        if not obs.enabled():
+            return None
+        delta = obs.REGISTRY.drain()
+        return delta if any(delta.values()) else None
+
     state: Any = None
     handle: Optional[SharedPreparedGraph] = None
     state_seq = -1
@@ -103,13 +124,19 @@ def _daemon_main(conn: Any) -> None:  # pragma: no cover - runs in worker proces
                 conn.send(("stale", batch, index))
                 continue
             try:
-                result = chunk_fn(state, task)
+                chunk_started = time.perf_counter()
+                with obs.span("daemon.worker", chunk=index):
+                    result = chunk_fn(state, task)
             except BaseException:
                 conn.send(("err", batch, index, traceback.format_exc()))
             else:
-                conn.send(("ok", batch, index, result))
+                obs.counter("daemon.worker.chunks").inc()
+                obs.histogram("daemon.worker.chunk.seconds").observe(
+                    time.perf_counter() - chunk_started
+                )
+                conn.send(("ok", batch, index, result, drained_stats()))
         elif kind == "ping":
-            conn.send(("pong", message[1], state_seq, os.getpid()))
+            conn.send(("pong", message[1], state_seq, os.getpid(), drained_stats()))
         elif kind == "stop":
             break
     if handle is not None:
@@ -206,7 +233,12 @@ class DaemonPool:
     def _spawn_worker(self) -> _Daemon:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
-            target=_daemon_main, args=(child_conn,), daemon=True, name="repro-daemon"
+            target=_daemon_main,
+            # The enabled flag ships as a spawn argument: under ``spawn`` the
+            # child re-imports modules and would otherwise default to the env.
+            args=(child_conn, obs.enabled()),
+            daemon=True,
+            name="repro-daemon",
         )
         process.start()
         child_conn.close()
@@ -244,6 +276,7 @@ class DaemonPool:
         """Replace a dead worker in place; counts toward the restart budget."""
         worker.discard()
         self._restarts += 1
+        obs.counter("daemon.restarts").inc()
         replacement = self._spawn_worker()
         self._workers[self._workers.index(worker)] = replacement
         return replacement
@@ -301,6 +334,7 @@ class DaemonPool:
         if self._handle is not None and self._published_version == key:
             return
         handle = publish_state(state)
+        obs.counter("daemon.publishes").inc()
         old_handle = self._handle
         self._handle = handle
         self._state_seq += 1
@@ -317,6 +351,7 @@ class DaemonPool:
             for index, worker in enumerate(self._workers):
                 if not worker.alive or worker.state_seq != self._state_seq:
                     self._restarts += 1
+                    obs.counter("daemon.restarts").inc()
                     worker.discard()
                     self._workers[index] = self._spawn_worker()
         finally:
@@ -363,6 +398,7 @@ class DaemonPool:
             if index is None:
                 return
             attempts[index] += 1
+            obs.counter("daemon.retries").inc()
             if attempts[index] > MAX_TASK_RETRIES:
                 raise DaemonError(
                     f"daemon chunk {index} killed {attempts[index]} workers in a row ({reason}); "
@@ -409,7 +445,8 @@ class DaemonPool:
                 if kind in ("ok", "err", "stale") and message[1] != batch:
                     continue  # fenced reply from an abandoned batch
                 if kind == "ok":
-                    _, _, index, result = message
+                    _, _, index, result, worker_stats = message
+                    obs.REGISTRY.merge(worker_stats)
                     results[index] = result
                     inflight.pop(worker)
                     idle.append(worker)
@@ -445,18 +482,24 @@ class DaemonPool:
                 ok = False
                 if worker.alive:
                     try:
+                        ping_started = time.perf_counter()
                         worker.conn.send(("ping", nonce))
                         while connection.wait([worker.conn, worker.process.sentinel], timeout=timeout):
                             if not worker.conn.poll():
                                 break  # sentinel fired: death
                             message = worker.conn.recv()
                             if message[0] == "pong" and message[1] == nonce:
+                                obs.histogram("daemon.ping.seconds").observe(
+                                    time.perf_counter() - ping_started
+                                )
+                                obs.REGISTRY.merge(message[4] if len(message) > 4 else None)
                                 ok = True
                                 break
                     except (BrokenPipeError, EOFError, OSError):
                         ok = False
                 if not ok and restart:
                     self._restarts += 1
+                    obs.counter("daemon.restarts").inc()
                     worker.discard()
                     self._workers[index] = self._spawn_worker()
                 alive.append(ok)

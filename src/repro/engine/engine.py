@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.engine.cache import AnswerCache, CacheKey, CacheStats
 from repro.engine.daemons import DaemonPool
 from repro.engine.executors import Task, default_workers, make_executor
@@ -479,8 +480,10 @@ class QueryEngine:
                     task_positions.append([position for position, _, _ in chunk])
                     task_fingerprints.append([fingerprint for _, _, fingerprint in chunk])
 
-        chunk_results = runner.run(self._prepared, tasks)
+        with obs.span("engine.batch", executor=runner.name, chunks=len(tasks)):
+            chunk_results = runner.run(self._prepared, tasks)
 
+        evictions = 0
         for positions, fingerprints, results in zip(
             task_positions, task_fingerprints, chunk_results
         ):
@@ -491,6 +494,7 @@ class QueryEngine:
                 if caching:
                     for stale in self._cache.put(fingerprint, alpha, answer):
                         self._anchors.pop(stale, None)
+                        evictions += 1
                     anchor = self._anchor_of(queries[position])
                     self._anchors[(fingerprint, alpha)] = anchor
                     if anchor[0] != REACH and self._pattern_guard_max_degree is None:
@@ -500,6 +504,16 @@ class QueryEngine:
                         self._pattern_guard_max_degree = self._prepared.max_degree()
 
         wall = probe_seconds + (time.perf_counter() - started)
+        # Batch-granular telemetry (one counter bump per batch, never per
+        # query) — cheap enough to stay inside the façade's 2% overhead gate.
+        obs.counter("engine.batches").inc()
+        obs.counter("engine.executor." + runner.name).inc()
+        obs.counter("engine.cache.hits").inc(hits)
+        obs.counter("engine.cache.misses").inc(len(pending))
+        if evictions:
+            obs.counter("engine.cache.evictions").inc(evictions)
+        obs.histogram("engine.batch.size", scheme="count").observe(float(len(queries)))
+        obs.histogram("engine.batch.seconds").observe(wall)
         return BatchReport(
             answers=answers,
             alpha=alpha,

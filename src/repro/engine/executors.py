@@ -41,6 +41,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 from repro.exceptions import EngineError
 from repro.engine.prepared import PreparedGraph, publish_state
 from repro.engine.queries import REACH, SIMULATION, SUBGRAPH
+from repro.obs import trace
 
 Task = Tuple[str, float, Sequence[Any]]
 """One unit of work: ``(kind, alpha, queries)``."""
@@ -66,15 +67,20 @@ def answer_chunk(prepared: PreparedGraph, task: Task) -> List[Any]:
     path run inline.
     """
     kind, alpha, queries = task
-    if kind == REACH:
-        matcher = prepared.rbreach(alpha)
-        return [matcher.query(query.source, query.target) for query in queries]
-    if kind == SIMULATION:
-        matcher = prepared.rbsim(alpha)
-        return [matcher.answer(query.pattern, query.personalized_match) for query in queries]
-    if kind == SUBGRAPH:
-        matcher = prepared.rbsub(alpha)
-        return [matcher.answer(query.pattern, query.personalized_match) for query in queries]
+    with trace.span("executor.chunk", kind=kind, queries=len(queries)):
+        if kind == REACH:
+            matcher = prepared.rbreach(alpha)
+            return [matcher.query(query.source, query.target) for query in queries]
+        if kind == SIMULATION:
+            matcher = prepared.rbsim(alpha)
+            return [
+                matcher.answer(query.pattern, query.personalized_match) for query in queries
+            ]
+        if kind == SUBGRAPH:
+            matcher = prepared.rbsub(alpha)
+            return [
+                matcher.answer(query.pattern, query.personalized_match) for query in queries
+            ]
     raise EngineError(f"unknown query kind {kind!r}")
 
 

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Mapping, Optional, Set
 
+from repro import obs
 from repro.core.rbsim import RBSim, RBSimConfig
 from repro.core.rbsub import RBSub, RBSubConfig
 from repro.exceptions import EngineError
@@ -70,6 +71,9 @@ class UpdateSummary:
     #: detect max-degree changes without a full-graph scan.
     touched_degrees_before: Dict[NodeId, int] = field(default_factory=dict)
     touched_degrees_after: Dict[NodeId, int] = field(default_factory=dict)
+    #: Landmarks re-swept across all repaired α indexes (``patched`` mode
+    #: only) — the dominant cost of an in-place repair.
+    dirty_landmarks: int = 0
 
 
 def _freeze(graph: GraphLike, mirror: str) -> GraphLike:
@@ -407,6 +411,7 @@ class PreparedGraph:
         summary = UpdateSummary(mode="noop", delta_ops=delta.size())
         if record.is_empty():
             summary.seconds = time.perf_counter() - started
+            obs.counter("update.noop").inc()
             return summary
         summary.touched_nodes = record.touched_nodes()
         summary.size_changed = overlay.size() != pre_size
@@ -456,6 +461,9 @@ class PreparedGraph:
             summary.compacted = True
 
         summary.seconds = time.perf_counter() - started
+        obs.counter("update." + summary.mode).inc()
+        if summary.dirty_landmarks:
+            obs.counter("update.dirty.landmarks").inc(summary.dirty_landmarks)
         return summary
 
     def _patch_reachability(self, patch, summary: UpdateSummary) -> None:
@@ -478,7 +486,11 @@ class PreparedGraph:
         self._indexes = {}
         self._rbreach = {}
         reference_size = self._reach_reference()
+        dirty = patch.dirty_forward | patch.dirty_backward
         for alpha, old_index in old_indexes.items():
+            summary.dirty_landmarks += sum(
+                1 for landmark in old_index.landmarks if landmark in dirty
+            )
             repaired = repair_index(old_index, new_compressed, patch, reference_size)
             self._indexes[alpha] = repaired
             summary.reach_alphas_preserved[alpha] = not patch.ranks_changed and index_equivalent(

@@ -1,0 +1,149 @@
+"""Lightweight span tracing: per-stage wall/CPU time as JSON lines.
+
+Where :mod:`repro.obs.metrics` aggregates, tracing *itemises*: each
+instrumented stage (``service.query`` → ``planner`` → ``engine.batch`` →
+``executor.chunk`` → ``daemon.worker``) opens a :func:`span`, and on exit
+one JSON object is appended to the sink describing that stage —
+
+``{"span": "engine.batch", "parent": "service.query", "depth": 1,
+"wall_ms": 12.3, "cpu_ms": 11.9, "attrs": {...}}``
+
+Parentage is tracked per thread (a thread-local span stack), so nested
+spans name their enclosing stage without any plumbing through call
+signatures.  Wall time comes from ``perf_counter``, CPU time from
+``process_time`` — a large wall/CPU gap inside a span is the signature
+of waiting (lock contention, pipe I/O, admission) rather than compute.
+
+Tracing is **off by default** and costs one truthiness check per span
+while off: :func:`span` returns a shared no-op context manager unless a
+sink was installed via :func:`set_sink` or the ``REPRO_TRACE``
+environment variable (a file path; ``-`` means stderr).  Lines are
+written under a lock, one ``write`` call per span, so concurrent threads
+and the asyncio front-end interleave whole lines, never fragments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, IO, List, Optional, Union
+
+_ENV_FLAG = "REPRO_TRACE"
+
+_lock = threading.Lock()
+_sink: Optional[IO[str]] = None
+_owns_sink = False
+_stack = threading.local()
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("name", "attrs", "_wall", "_cpu")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self._wall = 0.0
+        self._cpu = 0.0
+
+    def __enter__(self) -> "_Span":
+        _span_stack().append(self.name)
+        self._wall = time.perf_counter()
+        self._cpu = time.process_time()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        wall_ms = (time.perf_counter() - self._wall) * 1e3
+        cpu_ms = (time.process_time() - self._cpu) * 1e3
+        stack = _span_stack()
+        stack.pop()
+        record = {
+            "span": self.name,
+            "parent": stack[-1] if stack else None,
+            "depth": len(stack),
+            "wall_ms": round(wall_ms, 4),
+            "cpu_ms": round(cpu_ms, 4),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        _emit(record)
+
+
+def _span_stack() -> List[str]:
+    stack = getattr(_stack, "names", None)
+    if stack is None:
+        stack = _stack.names = []
+    return stack
+
+
+def _emit(record: Dict[str, Any]) -> None:
+    sink = _sink
+    if sink is None:
+        return
+    line = json.dumps(record, sort_keys=True, default=str) + "\n"
+    with _lock:
+        try:
+            sink.write(line)
+            sink.flush()
+        except ValueError:  # sink closed underneath us (interpreter shutdown)
+            pass
+
+
+def span(name: str, **attrs: Any) -> Union[_Span, _NoopSpan]:
+    """Context manager timing one stage; no-op (shared instance) when tracing is off."""
+    if _sink is None:
+        return _NOOP_SPAN
+    return _Span(name, attrs)
+
+
+def tracing() -> bool:
+    """Whether a trace sink is currently installed."""
+    return _sink is not None
+
+
+def set_sink(target: Union[str, IO[str], None]) -> None:
+    """Install the trace sink: a path (``-`` = stderr), an open file, or None (off)."""
+    global _sink, _owns_sink
+    with _lock:
+        if _owns_sink and _sink is not None:
+            try:
+                _sink.close()
+            except OSError:
+                pass
+        _owns_sink = False
+        if target is None:
+            _sink = None
+        elif isinstance(target, str):
+            if target == "-":
+                _sink = sys.stderr
+            else:
+                _sink = open(target, "a", encoding="utf-8")
+                _owns_sink = True
+        else:
+            _sink = target
+
+
+def _init_from_env() -> None:
+    path = os.environ.get(_ENV_FLAG, "").strip()
+    if path:
+        set_sink(path)
+
+
+_init_from_env()
+
+__all__ = ["set_sink", "span", "tracing"]

@@ -25,9 +25,11 @@ can serve several consecutive loops — the common test and script pattern.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.service.requests import ServiceAnswer, ServiceRequest, as_request
 
 
@@ -80,12 +82,18 @@ class AdmissionController:
         async with condition:
             if not self._admissible(charges):
                 self.waits += 1
+                obs.counter("service.admission.waits").inc()
+                wait_started = time.perf_counter()
                 await condition.wait_for(lambda: self._admissible(charges))
+                obs.histogram("service.admission.wait.seconds").observe(
+                    time.perf_counter() - wait_started
+                )
             for client, (count, cost) in charges.items():
                 self.inflight += count
                 self._client_count[client] = self._client_count.get(client, 0) + count
                 self._client_cost[client] = self._client_cost.get(client, 0.0) + cost
             self.max_seen = max(self.max_seen, self.inflight)
+            obs.gauge("service.inflight").set_max(self.inflight)
 
     async def release(self, charges: Dict[str, Tuple[int, float]]) -> None:
         """Return a previous acquisition and wake waiters."""
@@ -179,6 +187,7 @@ class AsyncFrontEnd:
         answers = await self._run_chunk(0, [resolved], alpha)
         service_stats = self._service._stats
         service_stats.submitted += 1
+        obs.counter("service.submitted").inc()
         return answers[0]
 
     async def stream(self, requests: Sequence[Any], alpha: Optional[float] = None):
@@ -195,6 +204,7 @@ class AsyncFrontEnd:
             for done in asyncio.as_completed(tasks):
                 for answer in await done:
                     self._service._stats.streamed += 1
+                    obs.counter("service.streamed").inc()
                     yield answer
         finally:
             # Generator closed early (or a chunk failed): cancel what has

@@ -210,6 +210,14 @@ def service_flag_parent() -> argparse.ArgumentParser:
         help="make the auto planner use per-batch process pools instead of "
         "the warm daemon pool (answers are identical either way)",
     )
+    parent.add_argument(
+        "--metrics-json",
+        dest="metrics_json",
+        metavar="PATH",
+        default=None,
+        help="after the command finishes, dump the process metrics registry "
+        "(repro.obs snapshot) to PATH as JSON; inspect with 'repro-bench stats'",
+    )
     return parent
 
 

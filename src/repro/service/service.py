@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.engine.engine import BatchReport, QueryEngine, UpdateReport
 from repro.engine.queries import REACH
 from repro.exceptions import ServiceError
@@ -403,7 +404,8 @@ class GraphService:
         """
         with self._lock:
             self._check_open()
-            return self._run_batch_locked(requests, alpha)
+            with obs.span("service.query", requests=len(requests)):
+                return self._run_batch_locked(requests, alpha)
 
     def _run_batch_locked(
         self, requests: Sequence[Any], alpha: Optional[float]
@@ -413,7 +415,8 @@ class GraphService:
             for item in requests
         ]
         batch_alpha = alpha if alpha is not None else self._config.alpha
-        plan = self._planner.plan_batch(len(items), self.graph.size())
+        with obs.span("planner", requests=len(items)):
+            plan = self._planner.plan_batch(len(items), self.graph.size())
 
         started = time.perf_counter()
         if plan.backend != SHARDED and not any(item.alpha is not None for item in items):
@@ -443,6 +446,9 @@ class GraphService:
         self._stats.cache_misses += report.cache_misses
         self._stats.shard_contained += report.shard_routed
         self._stats.shard_spilled += report.shard_single
+        obs.counter("service.batches").inc()
+        obs.counter("service.queries").inc(len(items))
+        obs.histogram("service.batch.seconds").observe(report.wall_seconds)
         return report
 
     def _run_batch_grouped(
@@ -574,18 +580,24 @@ class GraphService:
                 delta.size(), self.graph.size(), delta.has_node_removals()
             )
             started = time.perf_counter()
-            engine_report = self._ensure_engine().update(
-                delta,
-                patch_threshold=plan.patch_threshold,
-                compact_threshold=plan.compact_threshold,
-            )
-            # A live sharded engine absorbs the same delta through its own
-            # routing (confined churn patches the owning shard, wider churn
-            # rebuilds affected shards); an unbuilt one needs nothing — it
-            # partitions the already-updated graph on first use.
-            shard_report = self._sharded.update(delta) if self._sharded is not None else None
+            with obs.span("service.update", ops=delta.size()):
+                engine_report = self._ensure_engine().update(
+                    delta,
+                    patch_threshold=plan.patch_threshold,
+                    compact_threshold=plan.compact_threshold,
+                )
+                # A live sharded engine absorbs the same delta through its
+                # own routing (confined churn patches the owning shard, wider
+                # churn rebuilds affected shards); an unbuilt one needs
+                # nothing — it partitions the already-updated graph on first
+                # use.
+                shard_report = (
+                    self._sharded.update(delta) if self._sharded is not None else None
+                )
             wall = time.perf_counter() - started
             self._stats.updates += 1
+            obs.counter("service.updates").inc()
+            obs.histogram("service.update.seconds").observe(wall)
             self._stats.update_modes[engine_report.mode] = (
                 self._stats.update_modes.get(engine_report.mode, 0) + 1
             )

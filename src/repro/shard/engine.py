@@ -44,6 +44,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.rbsim import PatternAnswer, RBSim, RBSimConfig
 from repro.core.rbsub import RBSub, RBSubConfig
 from repro.engine.daemons import DaemonPool
@@ -543,6 +544,20 @@ class ShardedEngine:
             report.spill_shards_touched += touched
 
         report.wall_seconds = time.perf_counter() - started
+        obs.counter("shard.batches").inc()
+        obs.histogram("shard.scatter.fanout", scheme="count").observe(
+            float(len(report.per_shard))
+        )
+        obs.counter("shard.reach.local").inc(report.local_reach)
+        obs.counter("shard.reach.cross").inc(report.cross_reach)
+        # Queries that escaped their home shard: cross-shard reach, local
+        # probes that missed into boundary composition, spilled patterns.
+        obs.counter("shard.spillover").inc(
+            report.cross_reach + report.miss_composed + report.pattern_spilled
+        )
+        obs.counter("shard.boundary.probes").inc(
+            sum(len(items) for items in probe_items.values())
+        )
         return report
 
     def answer_batch(

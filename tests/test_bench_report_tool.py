@@ -146,12 +146,39 @@ def test_check_detects_regression(bench_report, stub_suite, tmp_path, capsys):
     assert "fake.speedup" in capsys.readouterr().out
 
 
+def test_check_skips_metrics_the_runner_cannot_exhibit(bench_report):
+    """A report-side ``skipped`` entry excludes a baseline-gated metric."""
+    baseline = {
+        "suite": "fake",
+        "metrics": {"speedup": 10.0, "witness": 1},
+        "gates": {"speedup": "higher", "witness": "higher"},
+    }
+    report = {
+        "suite": "fake",
+        "metrics": {"speedup": 0.7, "witness": 1},  # <1x: would fail if gated
+        "gates": {"witness": "higher"},
+        "skipped": {"speedup": "single-core"},
+    }
+    assert bench_report.check_against_baseline(report, baseline, 0.30) == []
+    # Without the skip tag the same numbers must still fail the gate.
+    report.pop("skipped")
+    failures = bench_report.check_against_baseline(report, baseline, 0.30)
+    assert failures and "fake.speedup" in failures[0]
+
+
 def test_all_suites_registered_with_committed_baselines():
     spec = importlib.util.spec_from_file_location(
         "bench_report_registry_check", ROOT / "tools" / "bench_report.py"
     )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
-    assert set(module.SUITES) == {"engine", "backend", "updates", "shard", "service"}
+    assert set(module.SUITES) == {
+        "engine",
+        "backend",
+        "updates",
+        "shard",
+        "service",
+        "latency",
+    }
     for name in module.SUITES:
         assert (ROOT / "benchmarks" / "baselines" / f"BENCH_{name}.json").exists()

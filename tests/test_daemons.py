@@ -90,7 +90,10 @@ class TestDaemonPool:
             assert not pool.started
 
     def test_kill_between_batches_restarts_and_answers(self):
+        from repro import obs
+
         state = {"factor": 2}
+        restarts_before = obs.snapshot()["counters"].get("daemon.restarts", 0)
         with DaemonPool(workers=2) as pool:
             assert pool.run(state, [[1], [2]], chunk_fn=_echo_chunk) == [[2], [4]]
             victim = pool.worker_pids()[0]
@@ -98,6 +101,9 @@ class TestDaemonPool:
             assert pool.run(state, [[5], [6]], chunk_fn=_echo_chunk) == [[10], [12]]
             assert pool.restarts >= 1
             assert victim not in pool.worker_pids()
+        # The restart is also visible in the global metrics registry (the
+        # service-level report a production snapshot would show).
+        assert obs.snapshot()["counters"].get("daemon.restarts", 0) > restarts_before
 
     def test_sigkill_mid_chunk_retries_and_completes(self, tmp_path):
         """The first attempt dies mid-chunk; the retry finishes the batch."""

@@ -1,0 +1,287 @@
+"""The observability layer (``repro.obs``): exactness, mergeability, cost.
+
+What is pinned down here:
+
+* histogram percentiles track numpy's exact quantiles on well-populated
+  seeded samples (to within one geometric bucket's width), and clamp to
+  the observed min/max at the extremes;
+* snapshot merging is associative and commutative (hypothesis, integer
+  observations so float summation cannot blur the comparison) — the
+  property that makes worker-delta folding order-independent;
+* disabled mode (``REPRO_METRICS=0`` / ``set_enabled(False)``) hands out
+  shared no-op singletons, registers nothing and allocates nothing on the
+  hot path;
+* instrumentation never changes answers: serial and daemon executors are
+  bit-identical with metrics on and off;
+* every name the live stack registers is in ``repro.obs.CATALOG``, and the
+  tables in ``docs/OBSERVABILITY.md`` match the catalogue exactly — the
+  docs cannot drift from the code;
+* daemon workers drain their registries into the parent exactly once
+  (chunk counts merge without double counting, even under ``fork``), and
+  a crash-injected restart shows up in the global ``daemon.restarts``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.engine import QueryEngine
+from repro.engine.daemons import DaemonPool
+from repro.engine.queries import ReachQuery
+from repro.graph.generators import random_graph
+from repro.obs.metrics import SCHEMES, Histogram, MetricsRegistry, merge_snapshots
+
+ROOT = Path(__file__).resolve().parent.parent
+ALPHA = 0.1
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Each test sees an enabled, empty global registry and restores state."""
+    was_enabled = obs.enabled()
+    obs.set_enabled(True)
+    obs.REGISTRY.reset()
+    yield
+    obs.REGISTRY.reset()
+    obs.set_enabled(was_enabled)
+
+
+def _echo_chunk(state, task):
+    return [state["factor"] * item for item in task]
+
+
+def _signatures(answers):
+    return [(a.reachable, a.visited, a.met_at, a.exhausted) for a in answers]
+
+
+# --------------------------------------------------------------------------- #
+# Histogram percentiles vs numpy
+# --------------------------------------------------------------------------- #
+class TestHistogramPercentiles:
+    # Geometric buckets at ratio r are exact to within one bucket, and the
+    # interpolated rank can straddle an adjacent bucket: a factor of r^2
+    # (1.25^2 ≈ 1.6 on the latency scheme) bounds the estimate both ways.
+    TOLERANCE = 1.25**2
+
+    def test_tracks_numpy_quantiles_on_seeded_lognormal(self):
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=-6.0, sigma=1.2, size=20_000)  # ~ms latencies
+        histogram = Histogram("t")
+        for value in samples:
+            histogram.observe(float(value))
+        for q in (0.10, 0.50, 0.90, 0.99, 0.999):
+            exact = float(np.quantile(samples, q))
+            estimate = histogram.percentile(q)
+            assert exact / self.TOLERANCE <= estimate <= exact * self.TOLERANCE, (
+                f"q={q}: histogram {estimate:.6f} vs numpy {exact:.6f}"
+            )
+
+    def test_extremes_clamp_to_observed_min_max(self):
+        rng = np.random.default_rng(11)
+        samples = rng.lognormal(mean=-4.0, sigma=1.0, size=500)
+        histogram = Histogram("t")
+        for value in samples:
+            histogram.observe(float(value))
+        assert histogram.percentile(0.0) == pytest.approx(float(samples.min()))
+        assert histogram.percentile(1.0) == pytest.approx(float(samples.max()))
+
+    def test_overflow_and_count_scheme(self):
+        histogram = Histogram("t", scheme="count")
+        for value in (0.5, 3.0, 2_000_000.0):  # below first bound / mid / overflow
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.counts[-1] == 1  # the overflow bucket
+        assert histogram.percentile(1.0) == pytest.approx(2_000_000.0)
+
+    def test_rejects_unknown_scheme_and_bad_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram("t", scheme="nope")
+        with pytest.raises(ValueError):
+            Histogram("t").percentile(1.5)
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot merge algebra (hypothesis)
+# --------------------------------------------------------------------------- #
+def _build_snapshot(events):
+    """A registry snapshot from ``(slot, value)`` integer events."""
+    registry = MetricsRegistry()
+    for slot, value in events:
+        registry.counter(f"c.{slot}").inc(value)
+        registry.gauge(f"g.{slot}").set_max(float(value))
+        registry.histogram(f"h.{slot}", scheme="count").observe(float(value))
+    return registry.snapshot()
+
+
+_events = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 1_000_000)),
+    max_size=15,
+)
+
+
+class TestSnapshotMerge:
+    @settings(suppress_health_check=[HealthCheck.function_scoped_fixture], deadline=None)
+    @given(left=_events, right=_events)
+    def test_commutative(self, left, right):
+        a, b = _build_snapshot(left), _build_snapshot(right)
+        assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+    @settings(suppress_health_check=[HealthCheck.function_scoped_fixture], deadline=None)
+    @given(first=_events, second=_events, third=_events)
+    def test_associative(self, first, second, third):
+        a, b, c = map(_build_snapshot, (first, second, third))
+        assert merge_snapshots(merge_snapshots(a, b), c) == merge_snapshots(
+            a, merge_snapshots(b, c)
+        )
+
+    def test_merge_semantics(self):
+        a = _build_snapshot([("a", 3), ("a", 4)])
+        b = _build_snapshot([("a", 10)])
+        merged = merge_snapshots(a, b)
+        assert merged["counters"]["c.a"] == 17  # counters add
+        assert merged["gauges"]["g.a"] == 10.0  # gauges keep the peak
+        assert merged["histograms"]["h.a"]["count"] == 3  # histograms union
+        assert merged["histograms"]["h.a"]["min"] == 3.0
+        assert merged["histograms"]["h.a"]["max"] == 10.0
+
+
+# --------------------------------------------------------------------------- #
+# Disabled mode
+# --------------------------------------------------------------------------- #
+class TestDisabledMode:
+    def test_accessors_share_noop_singletons_and_register_nothing(self):
+        obs.set_enabled(False)
+        assert obs.counter("one") is obs.counter("two")
+        assert obs.gauge("one") is obs.gauge("two")
+        assert obs.histogram("one") is obs.histogram("two")
+        obs.counter("one").inc(5)
+        obs.histogram("one").observe(1.0)
+        assert obs.REGISTRY.names() == []
+        assert obs.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_hot_path_allocates_nothing_when_disabled(self):
+        import tracemalloc
+
+        obs.set_enabled(False)
+        counter = obs.counter("noop")
+        histogram = obs.histogram("noop")
+
+        def hot_loop():
+            for _ in range(1_000):
+                counter.inc()
+                histogram.observe(0.001)
+                with obs.span("noop", attr=1):
+                    pass
+
+        hot_loop()  # warm any lazy interpreter state before measuring
+        tracemalloc.start()
+        try:
+            before = tracemalloc.get_traced_memory()[0]
+            hot_loop()
+            grown = tracemalloc.get_traced_memory()[0] - before
+        finally:
+            tracemalloc.stop()
+        assert grown < 512, f"disabled-mode hot path allocated {grown} bytes"
+
+
+# --------------------------------------------------------------------------- #
+# Instrumentation parity
+# --------------------------------------------------------------------------- #
+class TestInstrumentationParity:
+    def test_answers_identical_with_metrics_on_and_off(self):
+        graph = random_graph(num_nodes=220, num_edges=900, seed=13)
+        nodes = list(graph.nodes())
+        queries = [ReachQuery(nodes[i], nodes[-1 - i]) for i in range(18)]
+        with QueryEngine(graph, cache_size=0) as engine:
+            obs.set_enabled(True)
+            on_serial = _signatures(engine.answer_batch(queries, ALPHA))
+            on_daemon = _signatures(
+                engine.answer_batch(queries, ALPHA, executor="daemon", workers=2)
+            )
+            obs.set_enabled(False)
+            off_serial = _signatures(engine.answer_batch(queries, ALPHA))
+            off_daemon = _signatures(
+                engine.answer_batch(queries, ALPHA, executor="daemon", workers=2)
+            )
+        assert on_serial == off_serial == on_daemon == off_daemon
+
+
+# --------------------------------------------------------------------------- #
+# Catalogue <-> registry <-> docs
+# --------------------------------------------------------------------------- #
+_DOC_ROW = re.compile(r"^\|\s*`([a-z0-9.]+)`\s*\|\s*(counter|gauge|histogram|span)\b", re.M)
+
+
+class TestCatalog:
+    def test_live_registry_names_are_all_catalogued(self):
+        """Exercise the stack end-to-end; every registered name must be known."""
+        from repro.service import GraphService, ReachRequest, ServiceConfig
+        from repro.updates.delta import GraphDelta
+
+        graph = random_graph(num_nodes=200, num_edges=800, seed=3)
+        nodes = list(graph.nodes())
+        requests = [ReachRequest(nodes[i], nodes[-1 - i]) for i in range(12)]
+        with GraphService(graph, ServiceConfig(executor="serial", alpha=ALPHA)) as service:
+            service.run_batch(requests)
+            service.run_batch(requests)  # cache-hit path
+            delta = GraphDelta()
+            delta.add_edge(nodes[0], nodes[1])
+            service.update(delta)
+        registered = set(obs.REGISTRY.names())
+        unknown = registered - set(obs.CATALOG)
+        assert not unknown, f"metrics registered but missing from CATALOG: {sorted(unknown)}"
+        assert registered, "the exercised stack registered no metrics at all"
+
+    def test_docs_table_matches_catalog_exactly(self):
+        text = (ROOT / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")
+        rows = _DOC_ROW.findall(text)
+        documented = {name: kind for name, kind in rows if kind != "span"}
+        documented_spans = {name for name, kind in rows if kind == "span"}
+        expected = {name: kind for name, (kind, _, _) in obs.CATALOG.items()}
+        assert documented == expected, (
+            "docs/OBSERVABILITY.md metric table drifted from repro.obs.CATALOG"
+        )
+        assert documented_spans == set(obs.SPANS), (
+            "docs/OBSERVABILITY.md span table drifted from repro.obs.SPANS"
+        )
+
+    def test_catalog_histogram_schemes_are_valid(self):
+        for name, (kind, unit, module) in obs.CATALOG.items():
+            assert kind in ("counter", "gauge", "histogram"), name
+            assert unit and module.startswith("repro."), name
+        assert set(SCHEMES) == {"latency", "count"}
+
+
+# --------------------------------------------------------------------------- #
+# Daemon worker snapshots
+# --------------------------------------------------------------------------- #
+class TestDaemonWorkerMetrics:
+    def test_worker_deltas_merge_exactly_once(self):
+        with DaemonPool(workers=2) as pool:
+            pool.run({"factor": 2}, [[1], [2], [3]], chunk_fn=_echo_chunk)
+            pool.ping()  # pongs also carry drained deltas
+        snap = obs.snapshot()
+        # Three chunks ran in the workers; the drained deltas must add up to
+        # exactly three in the parent — no double counting across the reset
+        # boundary (fork-inherited registries are cleared at worker start).
+        assert snap["counters"].get("daemon.worker.chunks") == 3
+        assert snap["histograms"]["daemon.worker.chunk.seconds"]["count"] == 3
+        assert snap["counters"].get("daemon.publishes") == 1
+
+    def test_crash_injection_increments_global_restart_counter(self):
+        with DaemonPool(workers=2) as pool:
+            pool.run({"factor": 2}, [[1], [2]], chunk_fn=_echo_chunk)
+            assert obs.snapshot()["counters"].get("daemon.restarts") is None
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            assert pool.run({"factor": 2}, [[5]], chunk_fn=_echo_chunk) == [[10]]
+            assert pool.restarts >= 1
+        assert obs.snapshot()["counters"].get("daemon.restarts", 0) >= 1

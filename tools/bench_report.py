@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Machine-readable benchmark reports plus the CI regression gate.
 
-Runs five quick smoke suites and writes one JSON report each:
+Runs six quick smoke suites and writes one JSON report each:
 
 * ``BENCH_engine.json`` — the batched query engine: serial vs process-pool
   vs warm-daemon-pool throughput on an RBReach batch, the daemon-backed
@@ -15,12 +15,21 @@ Runs five quick smoke suites and writes one JSON report each:
   scatter–gather throughput vs the unsharded engine;
 * ``BENCH_service.json`` — the ``GraphService`` façade: ≤5% overhead vs
   the raw engine on warm batches, planner-vs-naive-serial speedup, and the
-  bit-parity witnesses of the routing contract.
+  bit-parity witnesses of the routing contract;
+* ``BENCH_latency.json`` — open-loop tail latency (p50/p99/p999) of the
+  async front-end under seeded Poisson and burst arrival schedules.
 
 Each report carries a ``gates`` table naming the metrics CI guards.  Gated
 metrics are deliberately *relative* (speedups, hit rates, 0/1 correctness
 witnesses): they transfer across runner generations, unlike absolute wall
-times, which are recorded for information only.  ``--check`` compares the
+times, which are recorded for information only — with one exception: the
+latency suite gates absolute p99 milliseconds, because tail latency *is*
+its deliverable (the committed ceilings are hand-relaxed well above any
+healthy runner's numbers).  A report may also carry a ``skipped`` table
+(metric → reason): metrics a runner physically cannot exhibit — pool
+speedups on a 1–2 core box — are recorded for the trajectory but excluded
+from gating, instead of letting a <1x "speedup" read as a regression.
+``--check`` compares the
 fresh numbers against the committed baselines in ``benchmarks/baselines/``
 and fails when any gated metric regresses by more than ``--tolerance``
 (default 30%).  After an intentional performance change, refresh the
@@ -123,7 +132,7 @@ def engine_suite() -> dict:
     )
     cache_hit_rate = warm.cache_hits / max(1, len(queries))
 
-    return {
+    report = {
         "suite": "engine",
         "schema_version": 1,
         "environment": _environment(),
@@ -160,6 +169,20 @@ def engine_suite() -> dict:
             "cache_hit_rate": "higher",
         },
     }
+    cores = _cores()
+    if cores < 4:
+        # A 1–2 core runner physically cannot exhibit a pool speedup.  The
+        # raw values still go to the trajectory, but tagged as skipped and
+        # dropped from the gates, so a <1x "speedup" is never read as a
+        # regression (the answers-parity checks above ran regardless).
+        reason = "single-core" if cores == 1 else f"only {cores} cores"
+        report["skipped"] = {
+            "parallel_speedup": reason,
+            "daemon_speedup": reason,
+        }
+        for metric in report["skipped"]:
+            report["gates"].pop(metric, None)
+    return report
 
 
 def backend_suite() -> dict:
@@ -289,7 +312,7 @@ def shard_suite() -> dict:
     from bench_shard_scatter import measure_shard_scatter
 
     metrics = measure_shard_scatter(seed=SEED)
-    return {
+    report = {
         "suite": "shard",
         "schema_version": 1,
         "environment": _environment(),
@@ -328,6 +351,14 @@ def shard_suite() -> dict:
             "sharded_serial_speedup": "higher",
         },
     }
+    if metrics["cores"] < 4:
+        # Informational, never gated — but tag them so the trajectory does
+        # not read this runner's <1x pool numbers as a performance story.
+        reason = (
+            "single-core" if metrics["cores"] == 1 else f"only {metrics['cores']} cores"
+        )
+        report["skipped"] = {"shard_speedup": reason, "daemon_speedup": reason}
+    return report
 
 
 def service_suite() -> dict:
@@ -355,6 +386,7 @@ def service_suite() -> dict:
             "facade_overhead": metrics["facade_overhead"],
             "facade_efficiency": metrics["facade_efficiency"],
             "cache_hit_overhead": metrics["cache_hit_overhead"],
+            "metrics_overhead": metrics["metrics_overhead"],
             "planner_speedup": metrics["planner_speedup"],
             "facade_parity": metrics["facade_parity"],
             "planner_parity": metrics["planner_parity"],
@@ -374,12 +406,51 @@ def service_suite() -> dict:
     }
 
 
+def latency_suite() -> dict:
+    """Open-loop tail latency of the async front-end under arrival schedules."""
+    import sys as _sys
+
+    bench_dir = str(ROOT / "benchmarks")
+    if bench_dir not in _sys.path:
+        _sys.path.insert(0, bench_dir)
+    from bench_service_latency import measure_service_latency
+
+    metrics = measure_service_latency(seed=SEED)
+    return {
+        "suite": "latency",
+        "schema_version": 1,
+        "environment": _environment(),
+        "config": {
+            "dataset": metrics["dataset"],
+            "alpha": metrics["alpha"],
+            "duration_seconds": metrics["duration_seconds"],
+            "rates": metrics["rates"],
+        },
+        "metrics": {
+            key: value
+            for key, value in metrics.items()
+            if key.startswith(("poisson_", "burst_"))
+        },
+        # The one suite gating absolute wall time: tail latency in
+        # milliseconds *is* the deliverable, and the measurement is open-loop
+        # (latency from the scheduled arrival, so backlog counts).  The
+        # committed ceilings are hand-relaxed far above a healthy runner's
+        # numbers — see the baseline's note — so only a real serving
+        # regression (or a pathological runner) trips them.
+        "gates": {
+            "poisson_50_p99_ms": "lower",
+            "poisson_200_p99_ms": "lower",
+        },
+    }
+
+
 SUITES = {
     "engine": engine_suite,
     "backend": backend_suite,
     "updates": updates_suite,
     "shard": shard_suite,
     "service": service_suite,
+    "latency": latency_suite,
 }
 
 
@@ -415,7 +486,13 @@ def load_baseline(path: Path) -> dict:
 def check_against_baseline(report: dict, baseline: dict, tolerance: float) -> list:
     """Failure messages for every gated metric that regressed past tolerance."""
     failures = []
+    skipped = report.get("skipped", {})
     for metric, direction in baseline.get("gates", {}).items():
+        if metric in skipped:
+            # The fresh report marked this metric unachievable on the
+            # current runner (e.g. a pool speedup below 4 cores): recorded
+            # for the trajectory, excluded from gating.
+            continue
         base_value = baseline["metrics"].get(metric)
         current = report["metrics"].get(metric)
         if base_value is None:
@@ -466,6 +543,8 @@ def main(argv=None) -> int:
         output_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
         gated = {metric: report["metrics"][metric] for metric in report["gates"]}
         print(f"[bench_report] {name}: {gated} -> {output_path}")
+        if report.get("skipped"):
+            print(f"[bench_report] {name}: not gated on this runner: {report['skipped']}")
 
         if args.update:
             args.baseline_dir.mkdir(parents=True, exist_ok=True)

@@ -64,6 +64,10 @@ def append(argv_reports=None) -> int:
                 "suite": report.get("suite", path.stem),
                 "environment": report.get("environment", {}),
                 "metrics": report.get("metrics", {}),
+                # Metrics this runner could not meaningfully exhibit (e.g.
+                # pool speedups below 4 cores): kept in the row, but tagged
+                # so trajectory readers don't chart them as regressions.
+                "skipped": report.get("skipped", {}),
             }
             handle.write(json.dumps(row, sort_keys=True) + "\n")
             appended += 1

@@ -21,7 +21,13 @@ import traceback
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
-CHECKED_FILES = ["README.md", "PAPER.md", "docs/ARCHITECTURE.md", "docs/MIGRATION.md"]
+CHECKED_FILES = [
+    "README.md",
+    "PAPER.md",
+    "docs/ARCHITECTURE.md",
+    "docs/MIGRATION.md",
+    "docs/OBSERVABILITY.md",
+]
 
 _CODE_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
 # [text](target) — excluding images and in-page anchors; stop at the first
