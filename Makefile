@@ -6,7 +6,7 @@
 #                       (skips with a warning when pytest-cov is missing)
 #   make bench-smoke  - fast end-to-end benchmarks (CSR backend + engine +
 #                       updates + sharded scatter-gather + service facade +
-#                       open-loop latency smoke)
+#                       open-loop latency smoke + batched bitset kernels)
 #   make bench        - the full paper-figure benchmark suite
 #   make bench-report - write machine-readable BENCH_*.json reports
 #   make bench-check  - bench-report + fail on >30% gated-metric regression
@@ -39,7 +39,7 @@ coverage:
 	$(PYTHON) tools/coverage_gate.py
 
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_backend_csr.py benchmarks/bench_engine_parallel.py benchmarks/bench_updates_incremental.py benchmarks/bench_shard_scatter.py benchmarks/bench_service_facade.py benchmarks/bench_service_latency.py -q -p no:cacheprovider
+	$(PYTHON) -m pytest benchmarks/bench_backend_csr.py benchmarks/bench_engine_parallel.py benchmarks/bench_updates_incremental.py benchmarks/bench_shard_scatter.py benchmarks/bench_service_facade.py benchmarks/bench_service_latency.py benchmarks/bench_kernels_batched.py -q -p no:cacheprovider
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q -p no:cacheprovider

@@ -36,15 +36,12 @@ Quickstart (paper algorithms)::
         answer = matcher.answer(query.pattern, query.personalized_match)
         print(query.shape, len(answer.answer), answer.subgraph_size)
 
-Deprecated top-level serving aliases (``ShardedEngine``, ``Partition``,
-``partition_graph``) keep working for one release but emit a
-``DeprecationWarning`` — serve through :class:`repro.service.GraphService`,
-or import the low-level machinery from :mod:`repro.shard` /
-:mod:`repro.engine` directly.  See ``docs/MIGRATION.md``.
+The old top-level serving aliases (``ShardedEngine``, ``Partition``,
+``partition_graph``) have been removed after their one-release deprecation
+window — serve through :class:`repro.service.GraphService`, or import the
+low-level machinery from :mod:`repro.shard` / :mod:`repro.engine` directly.
+See ``docs/MIGRATION.md``.
 """
-
-import importlib
-import warnings
 
 from repro.core import (
     AccuracyReport,
@@ -125,9 +122,6 @@ __all__ = [
     "ServiceAnswer",
     "ServiceConfig",
     "ServiceStats",
-    "Partition",
-    "ShardedEngine",
-    "partition_graph",
     "generate_pattern_workload",
     "generate_reachability_workload",
     "load_dataset",
@@ -136,26 +130,3 @@ __all__ = [
     "yahoo_like",
     "youtube_like",
 ]
-
-#: Old top-level serving entry points, kept as lazy deprecation shims for
-#: one release: accessing ``repro.<name>`` works but warns, pointing at the
-#: GraphService façade (low-level imports from ``repro.shard`` stay silent).
-_DEPRECATED_SERVING = {
-    "ShardedEngine": "repro.shard",
-    "Partition": "repro.shard",
-    "partition_graph": "repro.shard",
-}
-
-
-def __getattr__(name: str):
-    module_name = _DEPRECATED_SERVING.get(name)
-    if module_name is not None:
-        warnings.warn(
-            f"repro.{name} is deprecated and will be removed in the next release; "
-            f"serve through repro.service.GraphService, or import {name} from "
-            f"{module_name} for the low-level API (see docs/MIGRATION.md)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return getattr(importlib.import_module(module_name), name)
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")

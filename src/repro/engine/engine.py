@@ -403,7 +403,11 @@ class QueryEngine:
         Answers come back in input order: ``ReachabilityAnswer`` objects for
         :class:`ReachQuery`, ``PatternAnswer`` objects for
         :class:`PatternQuery`.  Mixed-kind batches are allowed; each kind is
-        dispatched to its own matcher.
+        dispatched to its own matcher.  Fan-out is batch-aware end to end:
+        each executor chunk hands its whole sub-batch to one batched kernel
+        entry (``RBReach.query_batch``) instead of crossing the dispatch
+        seam once per query, and the sub-batch sizes land on the
+        ``kernel.batch_size`` histogram.
 
         Treat returned answers as **read-only**: cache hits hand back the
         stored object itself (copying every answer would tax the hot path),

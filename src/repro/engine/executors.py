@@ -69,8 +69,10 @@ def answer_chunk(prepared: PreparedGraph, task: Task) -> List[Any]:
     kind, alpha, queries = task
     with trace.span("executor.chunk", kind=kind, queries=len(queries)):
         if kind == REACH:
+            # One batched kernel entry per chunk: the whole sub-batch crosses
+            # the dispatch seam together instead of one query at a time.
             matcher = prepared.rbreach(alpha)
-            return [matcher.query(query.source, query.target) for query in queries]
+            return matcher.query_batch([(query.source, query.target) for query in queries])
         if kind == SIMULATION:
             matcher = prepared.rbsim(alpha)
             return [

@@ -66,6 +66,13 @@ from repro.graph.generators import (
     random_graph,
     star_graph,
 )
+from repro.graph.kernels import (
+    KERNELS,
+    KernelRegistry,
+    ReachBatch,
+    reach_batch,
+    traverse,
+)
 from repro.graph.io import (
     BACKENDS,
     from_json_dict,
@@ -154,6 +161,11 @@ __all__ = [
     "preferential_attachment_graph",
     "random_graph",
     "star_graph",
+    "KERNELS",
+    "KernelRegistry",
+    "ReachBatch",
+    "reach_batch",
+    "traverse",
     "from_json_dict",
     "read_edge_list",
     "read_json",

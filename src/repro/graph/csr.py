@@ -37,6 +37,7 @@ or, for a *serving* graph that must keep absorbing mutations, on a
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
@@ -638,117 +639,58 @@ class CSRGraph:
             )
         )
 
+    def _deprecated_entry(self, name: str, replacement: str) -> None:
+        warnings.warn(
+            f"CSRGraph.{name} is deprecated; use {replacement} "
+            "(see docs/MIGRATION.md, 'Traversal kernel dispatch')",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def bfs_distances(
         self, source: NodeId, max_hops: Optional[int] = None, direction: str = "both"
     ) -> Dict[NodeId, int]:
-        """Level-synchronous BFS; returns node → hop distance (source at 0).
+        """Deprecated: use ``traverse(graph, "bfs_levels", ...)``.
 
-        Produces exactly the mapping of
-        :func:`repro.graph.traversal.bfs_levels`, via vectorised frontier
-        gathers instead of per-node set iteration.
+        Thin wrapper over :func:`repro.graph.kernels.csr_bfs_distances`,
+        kept one release for callers of the old per-method surface.
         """
-        start = self.index_of(source)
-        dist = np.full(self.num_nodes(), -1, dtype=np.int64)
-        dist[start] = 0
-        frontier = np.array([start], dtype=np.int64)
-        depth = 0
-        while frontier.size and (max_hops is None or depth < max_hops):
-            candidates = self._frontier_neighbors(frontier, direction)
-            candidates = candidates[dist[candidates] < 0]
-            if candidates.size == 0:
-                break
-            frontier = np.unique(candidates)
-            depth += 1
-            dist[frontier] = depth
-        reached = np.nonzero(dist >= 0)[0]
-        values = dist[reached].tolist()
-        if self._identity:
-            return dict(zip(reached.tolist(), values))
-        ids = self._ids
-        return {ids[i]: d for i, d in zip(reached.tolist(), values)}
+        self._deprecated_entry("bfs_distances", "repro.graph.kernels.traverse(graph, 'bfs_levels', ...)")
+        from repro.graph.kernels import csr_bfs_distances
+
+        return csr_bfs_distances(self, source, max_hops=max_hops, direction=direction)
 
     def reach_mask(
         self, start_index: int, forward: bool = True, stop_mask: Optional[np.ndarray] = None
     ) -> np.ndarray:
-        """Boolean mask of nodes reachable from ``start_index`` (itself included).
+        """Deprecated: use ``traverse(graph, "reach_mask", ...)`` or ``reach_batch``.
 
-        With ``stop_mask`` the traversal records masked nodes when reached but
-        never expands *through* them (they absorb the search) — the primitive
-        behind the out-of-index labels ``v.E`` of the ``RBReach`` index.
+        Thin wrapper over :func:`repro.graph.kernels.csr_reach_mask`; batch
+        callers should hand all their sources to
+        :func:`repro.graph.kernels.reach_batch` instead.
         """
-        indptr, indices = (
-            (self._succ_indptr, self._succ_indices)
-            if forward
-            else (self._pred_indptr, self._pred_indices)
-        )
-        seen = np.zeros(self.num_nodes(), dtype=bool)
-        seen[start_index] = True
-        # Hybrid expansion: scalar loop while the frontier is small (gather
-        # setup costs more than it saves there), vectorised once it grows.
-        frontier_list: List[int] = [start_index]
-        while frontier_list and len(frontier_list) < 32:
-            next_list: List[int] = []
-            for i in frontier_list:
-                for j in indices[int(indptr[i]) : int(indptr[i + 1])].tolist():
-                    if not seen[j]:
-                        seen[j] = True
-                        if stop_mask is None or not stop_mask[j]:
-                            next_list.append(j)
-            frontier_list = next_list
-        frontier = np.array(frontier_list, dtype=np.int64)
-        while frontier.size:
-            candidates = self._expand(frontier, indptr, indices)
-            candidates = candidates[~seen[candidates]]
-            if candidates.size == 0:
-                break
-            frontier = np.unique(candidates)
-            seen[frontier] = True
-            if stop_mask is not None:
-                frontier = frontier[~stop_mask[frontier]]
-        return seen
+        self._deprecated_entry("reach_mask", "repro.graph.kernels.csr_reach_mask or reach_batch")
+        from repro.graph.kernels import csr_reach_mask
+
+        return csr_reach_mask(self, start_index, forward=forward, stop_mask=stop_mask)
 
     def fast_reachable_set(self, source: NodeId, forward: bool = True) -> Set[NodeId]:
-        """Descendants (or ancestors) of ``source``, excluding ``source`` itself."""
-        start = self.index_of(source)
-        mask = self.reach_mask(start, forward=forward)
-        mask[start] = False
-        return set(self._ids_of(np.nonzero(mask)[0]))
+        """Deprecated: use ``traverse(graph, "reachable_set", ...)``."""
+        self._deprecated_entry(
+            "fast_reachable_set", "repro.graph.kernels.traverse(graph, 'reachable_set', ...)"
+        )
+        from repro.graph.kernels import csr_reachable_set
+
+        return csr_reachable_set(self, source, forward=forward)
 
     def fast_is_reachable(self, source: NodeId, target: NodeId) -> bool:
-        """Forward BFS reachability with early exit, in index space.
+        """Deprecated: use ``traverse(graph, "is_reachable", ...)``."""
+        self._deprecated_entry(
+            "fast_is_reachable", "repro.graph.kernels.traverse(graph, 'is_reachable', ...)"
+        )
+        from repro.graph.kernels import csr_is_reachable
 
-        Hybrid like :meth:`reach_mask`: scalar expansion while the frontier
-        is small, vectorised gathers once it grows.
-        """
-        start = self.index_of(source)
-        goal = self.index_of(target)
-        if start == goal:
-            return True
-        indptr, indices = self._succ_indptr, self._succ_indices
-        seen = np.zeros(self.num_nodes(), dtype=bool)
-        seen[start] = True
-        frontier_list: List[int] = [start]
-        while frontier_list and len(frontier_list) < 32:
-            next_list: List[int] = []
-            for i in frontier_list:
-                for j in indices[int(indptr[i]) : int(indptr[i + 1])].tolist():
-                    if j == goal:
-                        return True
-                    if not seen[j]:
-                        seen[j] = True
-                        next_list.append(j)
-            frontier_list = next_list
-        frontier = np.array(frontier_list, dtype=np.int64)
-        while frontier.size:
-            candidates = self._expand(frontier, indptr, indices)
-            candidates = candidates[~seen[candidates]]
-            if candidates.size == 0:
-                return False
-            frontier = np.unique(candidates)
-            seen[frontier] = True
-            if seen[goal]:
-                return True
-        return False
+        return csr_is_reachable(self, source, target)
 
     def fast_bidirectional_reachable(self, source: NodeId, target: NodeId) -> bool:
         """Bidirectional BFS reachability, expanding the smaller frontier."""

@@ -8,29 +8,24 @@ recursion limit.
 
 Every function accepts any :class:`~repro.graph.protocol.GraphLike` backend.
 Functions whose results are order-insensitive (distance maps, reachability
-booleans, node sets) dispatch to the vectorised kernels of
-:class:`~repro.graph.csr.CSRGraph` when given one; generators whose yield
-*order* is part of the contract (:func:`bfs_order`, :func:`dfs_order`,
-:func:`shortest_path`) always run the generic implementation.
+booleans, node sets) dispatch through the
+:mod:`repro.graph.kernels` capability registry — one
+:func:`~repro.graph.kernels.traverse` call that lands on the vectorised
+kernel for :class:`~repro.graph.csr.CSRGraph` and on the generic
+pure-python implementation for everything else, with identical answers by
+contract.  Generators whose yield *order* is part of the contract
+(:func:`bfs_order`, :func:`dfs_order`, :func:`shortest_path`) always run
+the generic implementation here.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.exceptions import NodeNotFoundError
+from repro.graph.kernels import neighbors_fn, traverse
 from repro.graph.protocol import GraphLike, NodeId
-
-try:  # CSRGraph needs numpy; traversal must keep working without it.
-    from repro.graph.csr import CSRGraph as _CSRGraph
-except ImportError:  # pragma: no cover - numpy is normally available
-    _CSRGraph = None
-
-
-def _is_csr(graph: GraphLike) -> bool:
-    return _CSRGraph is not None and isinstance(graph, _CSRGraph)
-
 
 Direction = str
 
@@ -39,15 +34,8 @@ _BACKWARD = "backward"
 _BOTH = "both"
 _DIRECTIONS = (_FORWARD, _BACKWARD, _BOTH)
 
-
-def _neighbors_fn(graph: GraphLike, direction: Direction) -> Callable[[NodeId], Iterable[NodeId]]:
-    if direction == _FORWARD:
-        return graph.successors
-    if direction == _BACKWARD:
-        return graph.predecessors
-    if direction == _BOTH:
-        return graph.neighbors
-    raise ValueError(f"direction must be one of {_DIRECTIONS}, got {direction!r}")
+# Kept under its historical private name for in-package callers.
+_neighbors_fn = neighbors_fn
 
 
 def bfs_order(graph: GraphLike, source: NodeId, direction: Direction = _FORWARD) -> Iterator[NodeId]:
@@ -58,7 +46,7 @@ def bfs_order(graph: GraphLike, source: NodeId, direction: Direction = _FORWARD)
     """
     if source not in graph:
         raise NodeNotFoundError(source)
-    neighbors = _neighbors_fn(graph, direction)
+    neighbors = neighbors_fn(graph, direction)
     seen: Set[NodeId] = {source}
     queue: deque = deque([source])
     while queue:
@@ -85,28 +73,16 @@ def bfs_levels(
     """
     if source not in graph:
         raise NodeNotFoundError(source)
-    if _is_csr(graph) and direction in _DIRECTIONS:
-        return graph.bfs_distances(source, max_hops=max_hops, direction=direction)
-    neighbors = _neighbors_fn(graph, direction)
-    distances: Dict[NodeId, int] = {source: 0}
-    queue: deque = deque([source])
-    while queue:
-        node = queue.popleft()
-        depth = distances[node]
-        if max_hops is not None and depth >= max_hops:
-            continue
-        for neighbor in neighbors(node):
-            if neighbor not in distances:
-                distances[neighbor] = depth + 1
-                queue.append(neighbor)
-    return distances
+    if direction not in _DIRECTIONS:
+        raise ValueError(f"direction must be one of {_DIRECTIONS}, got {direction!r}")
+    return traverse(graph, "bfs_levels", source, max_hops=max_hops, direction=direction)
 
 
 def dfs_order(graph: GraphLike, source: NodeId, direction: Direction = _FORWARD) -> Iterator[NodeId]:
     """Yield nodes in (pre-order) depth-first order from ``source``."""
     if source not in graph:
         raise NodeNotFoundError(source)
-    neighbors = _neighbors_fn(graph, direction)
+    neighbors = neighbors_fn(graph, direction)
     seen: Set[NodeId] = set()
     stack: List[NodeId] = [source]
     while stack:
@@ -142,10 +118,10 @@ def is_reachable(
         raise NodeNotFoundError(target)
     if source == target:
         return True
-    if visit_counter is None and _is_csr(graph):
-        # The vectorised kernel gives the same Boolean; the generic loop is
+    if visit_counter is None:
+        # The dispatched kernel gives the same Boolean; the counting loop is
         # kept when the caller wants the paper's data-items-visited count.
-        return graph.fast_is_reachable(source, target)
+        return traverse(graph, "is_reachable", source, target)
     seen: Set[NodeId] = {source}
     queue: deque = deque([source])
     visited = 1
@@ -175,54 +151,21 @@ def bidirectional_reachable(graph: GraphLike, source: NodeId, target: NodeId) ->
         raise NodeNotFoundError(source)
     if target not in graph:
         raise NodeNotFoundError(target)
-    if source == target:
-        return True
-    if _is_csr(graph):
-        return graph.fast_bidirectional_reachable(source, target)
-    forward_seen: Set[NodeId] = {source}
-    backward_seen: Set[NodeId] = {target}
-    forward_frontier: Set[NodeId] = {source}
-    backward_frontier: Set[NodeId] = {target}
-    while forward_frontier and backward_frontier:
-        if len(forward_frontier) <= len(backward_frontier):
-            next_frontier: Set[NodeId] = set()
-            for node in forward_frontier:
-                for child in graph.successors(node):
-                    if child in backward_seen:
-                        return True
-                    if child not in forward_seen:
-                        forward_seen.add(child)
-                        next_frontier.add(child)
-            forward_frontier = next_frontier
-        else:
-            next_frontier = set()
-            for node in backward_frontier:
-                for parent in graph.predecessors(node):
-                    if parent in forward_seen:
-                        return True
-                    if parent not in backward_seen:
-                        backward_seen.add(parent)
-                        next_frontier.add(parent)
-            backward_frontier = next_frontier
-    return False
+    return traverse(graph, "bidirectional_reachable", source, target)
 
 
 def descendants(graph: GraphLike, source: NodeId) -> Set[NodeId]:
     """All nodes reachable from ``source`` (excluding ``source`` itself)."""
-    if _is_csr(graph):
-        return graph.fast_reachable_set(source, forward=True)
-    reached = set(bfs_order(graph, source, direction=_FORWARD))
-    reached.discard(source)
-    return reached
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    return traverse(graph, "reachable_set", source, forward=True)
 
 
 def ancestors(graph: GraphLike, source: NodeId) -> Set[NodeId]:
     """All nodes that can reach ``source`` (excluding ``source`` itself)."""
-    if _is_csr(graph):
-        return graph.fast_reachable_set(source, forward=False)
-    reached = set(bfs_order(graph, source, direction=_BACKWARD))
-    reached.discard(source)
-    return reached
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    return traverse(graph, "reachable_set", source, forward=False)
 
 
 def shortest_path(
@@ -238,7 +181,7 @@ def shortest_path(
         raise NodeNotFoundError(target)
     if source == target:
         return [source]
-    neighbors = _neighbors_fn(graph, direction)
+    neighbors = neighbors_fn(graph, direction)
     parents: Dict[NodeId, NodeId] = {source: source}
     queue: deque = deque([source])
     while queue:
@@ -284,20 +227,11 @@ def diameter(graph: GraphLike, directed: bool = False, sample: Optional[int] = N
 
 def connected_component(graph: GraphLike, source: NodeId) -> Set[NodeId]:
     """Weakly connected component containing ``source``."""
-    if _is_csr(graph):
-        return graph.fast_connected_component(source)
-    return set(bfs_order(graph, source, direction=_BOTH))
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    return traverse(graph, "connected_component", source)
 
 
 def weakly_connected_components(graph: GraphLike) -> List[Set[NodeId]]:
     """All weakly connected components of the graph."""
-    if _is_csr(graph):
-        return graph.fast_weak_components()
-    remaining: Set[NodeId] = set(graph.nodes())
-    components: List[Set[NodeId]] = []
-    while remaining:
-        seed = next(iter(remaining))
-        component = connected_component(graph, seed)
-        components.append(component)
-        remaining -= component
-    return components
+    return traverse(graph, "weak_components")

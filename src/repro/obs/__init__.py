@@ -83,6 +83,9 @@ CATALOG = {
     "update.patched": ("counter", "updates", "repro.engine.prepared"),
     "update.rebuilt": ("counter", "updates", "repro.engine.prepared"),
     "update.dirty.landmarks": ("counter", "landmarks", "repro.engine.prepared"),
+    # traversal kernel dispatch (repro/graph/kernels.py)
+    "kernel.batch_size": ("histogram", "sources", "repro.graph.kernels"),
+    "kernel.fallbacks": ("counter", "dispatches", "repro.graph.kernels"),
 }
 
 #: Trace spans (name -> emitting module); see repro.obs.trace.

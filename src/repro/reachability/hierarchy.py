@@ -189,21 +189,34 @@ def _cover_statistics(
 def _cover_statistics_csr(
     csr_dag: GraphLike, landmarks: List[NodeId]
 ) -> Tuple[Dict[NodeId, Tuple[int, int]], Dict[NodeId, Set[NodeId]], Dict[NodeId, Set[NodeId]]]:
-    """Vectorised cover statistics over a CSR mirror of the DAG."""
+    """Vectorised cover statistics over a CSR mirror of the DAG.
+
+    One multi-source bitset sweep per direction answers every landmark at
+    once; per-landmark counts and landmark-to-landmark hits are then bit
+    extractions.  ``reach_stats`` semantics are preserved exactly: counts
+    and probe hits both exclude the landmark itself.
+    """
     import numpy as np
 
-    landmark_indices = [csr_dag.index_of(landmark) for landmark in landmarks]
-    probe_mask = np.zeros(csr_dag.num_nodes(), dtype=bool)
-    probe_mask[landmark_indices] = True
+    from repro.graph.kernels import reach_batch
+
+    landmark_indices = np.array(
+        [csr_dag.index_of(landmark) for landmark in landmarks], dtype=np.int64
+    )
     parts: Dict[NodeId, Tuple[int, int]] = {}
     forward_reach: Dict[NodeId, Set[NodeId]] = {}
     backward_reach: Dict[NodeId, Set[NodeId]] = {}
-    for landmark, landmark_index in zip(landmarks, landmark_indices):
-        descendants, hits = csr_dag.reach_stats(landmark_index, forward=True, probe_mask=probe_mask)
-        forward_reach[landmark] = {csr_dag.node_at(i) for i in hits}
-        ancestors, hits = csr_dag.reach_stats(landmark_index, forward=False, probe_mask=probe_mask)
-        backward_reach[landmark] = {csr_dag.node_at(i) for i in hits}
-        parts[landmark] = (descendants, ancestors)
+    forward_batch = reach_batch(csr_dag, landmarks, forward=True)
+    backward_batch = reach_batch(csr_dag, landmarks, forward=False)
+    descendant_counts = forward_batch.counts()
+    ancestor_counts = backward_batch.counts()
+    for j, landmark in enumerate(landmarks):
+        own_row = int(landmark_indices[j])
+        for batch, table in ((forward_batch, forward_reach), (backward_batch, backward_reach)):
+            hits = batch.probe_rows(j, landmark_indices)
+            table[landmark] = {csr_dag.node_at(i) for i in hits if i != own_row}
+        # ReachBatch counts include the source; reach_stats excluded it.
+        parts[landmark] = (int(descendant_counts[j]) - 1, int(ancestor_counts[j]) - 1)
     return parts, forward_reach, backward_reach
 
 

@@ -186,22 +186,27 @@ def _out_of_index_labels_by_sweep(
     """Landmark-major computation of ``v.E`` over a CSR DAG (see above)."""
     import numpy as np
 
+    from repro.graph.kernels import reach_batch
+
     n = csr_dag.num_nodes()
     stop_mask = np.zeros(n, dtype=bool)
-    landmark_indices = [csr_dag.index_of(landmark) for landmark in landmarks]
+    landmark_list = list(landmarks)
+    landmark_indices = [csr_dag.index_of(landmark) for landmark in landmark_list]
     stop_mask[landmark_indices] = True
 
     full_forward: Dict[int, Set[NodeId]] = {}
     full_backward: Dict[int, Set[NodeId]] = {}
-    for landmark, landmark_index in zip(landmarks, landmark_indices):
-        # v has `landmark` as a forward label iff v reaches it landmark-free:
-        # sweep the *predecessor* side, absorbing at other landmarks (and
-        # symmetrically the successor side for backward labels).
-        for follow_forward, table in ((False, full_forward), (True, full_backward)):
-            mask = csr_dag.reach_mask(landmark_index, forward=follow_forward, stop_mask=stop_mask)
-            mask[landmark_index] = False
-            mask &= ~stop_mask  # landmarks themselves carry no labels
-            for index in np.nonzero(mask)[0].tolist():
+    # v has `landmark` as a forward label iff v reaches it landmark-free:
+    # sweep the *predecessor* side, absorbing at other landmarks (and
+    # symmetrically the successor side for backward labels).  All landmarks
+    # of one direction ride in a single multi-source bitset sweep.
+    for follow_forward, table in ((False, full_forward), (True, full_backward)):
+        batch = reach_batch(csr_dag, landmark_list, forward=follow_forward, stop=stop_mask)
+        # One matrix pass (active rows only — frontiers absorb at landmarks,
+        # so most rows are empty) instead of a full column scan per landmark.
+        for landmark, rows in zip(landmark_list, batch.row_lists()):
+            rows = rows[~stop_mask[rows]]  # landmarks themselves carry no labels
+            for index in rows.tolist():
                 table.setdefault(index, set()).add(landmark)
 
     forward: Dict[NodeId, Set[NodeId]] = {}

@@ -127,9 +127,24 @@ class RBReach:
 
         return ReachabilityAnswer(reachable=False, visited=visited, exhausted=visited >= limit)
 
+    def query_batch(self, pairs: List[Tuple[NodeId, NodeId]]) -> List["ReachabilityAnswer"]:
+        """Answer a whole sub-batch in one entry — the executor fan-out seam.
+
+        Returns one :class:`ReachabilityAnswer` per pair, in order, each
+        bit-identical to a lone :meth:`query` call.  The batched entry is
+        what the engine/shard chunk functions hand an executor chunk to, and
+        it records the batch size on the ``kernel.batch_size`` histogram so
+        the observability layer sees how much work arrives per dispatch.
+        """
+        from repro.graph.kernels import observe_batch
+
+        observe_batch(len(pairs))
+        return [self.query(source, target) for source, target in pairs]
+
     def query_many(self, pairs: List[Tuple[NodeId, NodeId]]) -> Dict[Tuple[NodeId, NodeId], bool]:
         """Answer a batch of queries; returns query → Boolean answer."""
-        return {pair: self.query(*pair).reachable for pair in pairs}
+        answers = self.query_batch(list(pairs))
+        return {pair: answer.reachable for pair, answer in zip(pairs, answers)}
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -131,9 +131,11 @@ def answer_shard_chunk(states: Dict[int, ShardState], task: Any) -> List[Tuple[i
     state = states[shard_id]
     if kind == REACH:
         matcher = state.prepared.rbreach(alpha)
+        # The whole chunk crosses the kernel seam as one batched entry;
+        # boundary probing stays per unresolved item afterwards.
+        answers = matcher.query_batch([(source, target) for _, source, target in items])
         results: List[Tuple[int, Any]] = []
-        for index, source, target in items:
-            answer = matcher.query(source, target)
+        for (index, source, target), answer in zip(items, answers):
             if answer.reachable or not state.boundary_comps:
                 results.append((index, (answer, None, None)))
             else:

@@ -52,10 +52,12 @@ def _reach_mask_set(
 ) -> Set[NodeId]:
     """Full ancestor/descendant set of one DAG node (node excluded)."""
     if csr_dag is not None and csr_dag.num_nodes() == dag.num_nodes():
+        from repro.graph.kernels import csr_reach_mask
+
         import numpy as np
 
         index = csr_dag.index_of(node)
-        mask = csr_dag.reach_mask(index, forward=forward)
+        mask = csr_reach_mask(csr_dag, index, forward=forward)
         mask[index] = False
         return {csr_dag.node_at(i) for i in np.nonzero(mask)[0].tolist()}
     from collections import deque
@@ -71,6 +73,33 @@ def _reach_mask_set(
                 queue.append(neighbor)
     seen.discard(node)
     return seen
+
+
+def _reach_mask_sets(
+    dag: GraphLike,
+    csr_dag: Optional[GraphLike],
+    nodes,
+    forward: bool,
+) -> Dict[NodeId, Set[NodeId]]:
+    """Batched :func:`_reach_mask_set`: node -> reach set (node excluded).
+
+    With a CSR mirror all nodes ride one multi-source bitset sweep; the
+    generic path loops the single-node primitive.
+    """
+    nodes = list(nodes)
+    if not nodes:
+        return {}
+    if csr_dag is not None and csr_dag.num_nodes() == dag.num_nodes():
+        from repro.graph.kernels import reach_batch
+
+        batch = reach_batch(csr_dag, nodes, forward=forward)
+        result: Dict[NodeId, Set[NodeId]] = {}
+        for j, node in enumerate(nodes):
+            reached = batch.reached(j)
+            reached.discard(node)
+            result[node] = reached
+        return result
+    return {node: _reach_mask_set(dag, None, node, forward) for node in nodes}
 
 
 def _absorbing_region(
@@ -89,13 +118,15 @@ def _absorbing_region(
     landmark mask over ``csr_dag`` indices.
     """
     if csr_dag is not None and csr_dag.num_nodes() == dag.num_nodes():
+        from repro.graph.kernels import csr_reach_mask
+
         import numpy as np
 
         if stop_mask is None:
             stop_mask = np.zeros(csr_dag.num_nodes(), dtype=bool)
             stop_mask[[csr_dag.index_of(mark) for mark in landmark_set]] = True
         index = csr_dag.index_of(landmark)
-        mask = csr_dag.reach_mask(index, forward=not forward_labels, stop_mask=stop_mask)
+        mask = csr_reach_mask(csr_dag, index, forward=not forward_labels, stop_mask=stop_mask)
         mask[index] = False
         mask &= ~stop_mask
         return {csr_dag.node_at(i) for i in np.nonzero(mask)[0].tolist()}
@@ -115,6 +146,45 @@ def _absorbing_region(
                 continue
             region.add(neighbor)
             queue.append(neighbor)
+    return region
+
+
+def _absorbing_regions(
+    dag: GraphLike,
+    csr_dag: Optional[GraphLike],
+    landmarks_added,
+    landmark_set: Set[NodeId],
+    forward_labels: bool,
+    stop_mask=None,
+) -> Set[NodeId]:
+    """Union of :func:`_absorbing_region` over ``landmarks_added``.
+
+    Only the union is consumed (the affected-node set), so with a CSR
+    mirror every newcomer rides one absorbing multi-source sweep and the
+    union is the rows any column reached, minus the landmarks themselves
+    (the newcomers are landmarks, so their own rows are stop-masked away
+    exactly as the per-landmark code excluded them).
+    """
+    landmarks_added = list(landmarks_added)
+    if not landmarks_added:
+        return set()
+    if csr_dag is not None and csr_dag.num_nodes() == dag.num_nodes():
+        import numpy as np
+
+        from repro.graph.kernels import reach_batch
+
+        if stop_mask is None:
+            stop_mask = np.zeros(csr_dag.num_nodes(), dtype=bool)
+            stop_mask[[csr_dag.index_of(mark) for mark in landmark_set]] = True
+        batch = reach_batch(
+            csr_dag, landmarks_added, forward=not forward_labels, stop=stop_mask
+        )
+        rows = np.asarray(batch.any_rows(), dtype=np.int64)
+        rows = rows[~stop_mask[rows]]
+        return {csr_dag.node_at(i) for i in rows.tolist()}
+    region: Set[NodeId] = set()
+    for landmark in landmarks_added:
+        region |= _absorbing_region(dag, None, landmark, landmark_set, forward_labels)
     return region
 
 
@@ -185,10 +255,12 @@ def repair_index(
     # O(|reach sets|) instead of O(leaves × newcomers).
     gained_forward: Dict[NodeId, Set[NodeId]] = {}
     gained_backward: Dict[NodeId, Set[NodeId]] = {}
+    newcomer_up = _reach_mask_sets(dag, csr_dag, added_leaves, forward=False)
+    newcomer_down = _reach_mask_sets(dag, csr_dag, added_leaves, forward=True)
     for newcomer in added_leaves:
-        for leaf in _reach_mask_set(dag, csr_dag, newcomer, forward=False) & new_leaves:
+        for leaf in newcomer_up[newcomer] & new_leaves:
             gained_forward.setdefault(leaf, set()).add(newcomer)
-        for leaf in _reach_mask_set(dag, csr_dag, newcomer, forward=True) & new_leaves:
+        for leaf in newcomer_down[newcomer] & new_leaves:
             gained_backward.setdefault(leaf, set()).add(newcomer)
 
     cover_parts: Dict[NodeId, Tuple[int, int]] = {}
@@ -282,12 +354,11 @@ def _repair_labels(
         (False, old_index.backward_labels, dirty_backward),
     ):
         affected: Set[NodeId] = set(node for node in dirty if node in dag and node not in new_leaves)
-        for newcomer in added_leaves:
-            affected.update(
-                _absorbing_region(
-                    dag, csr_dag, newcomer, new_leaves, forward_labels, stop_mask=stop_mask
-                )
+        affected.update(
+            _absorbing_regions(
+                dag, csr_dag, added_leaves, new_leaves, forward_labels, stop_mask=stop_mask
             )
+        )
         for node, labels in old_table.items():
             if labels & removed_leaves:
                 affected.add(node)

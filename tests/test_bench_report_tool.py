@@ -179,6 +179,7 @@ def test_all_suites_registered_with_committed_baselines():
         "shard",
         "service",
         "latency",
+        "kernels",
     }
     for name in module.SUITES:
         assert (ROOT / "benchmarks" / "baselines" / f"BENCH_{name}.json").exists()

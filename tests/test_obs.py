@@ -218,7 +218,7 @@ class TestInstrumentationParity:
 # --------------------------------------------------------------------------- #
 # Catalogue <-> registry <-> docs
 # --------------------------------------------------------------------------- #
-_DOC_ROW = re.compile(r"^\|\s*`([a-z0-9.]+)`\s*\|\s*(counter|gauge|histogram|span)\b", re.M)
+_DOC_ROW = re.compile(r"^\|\s*`([a-z0-9._]+)`\s*\|\s*(counter|gauge|histogram|span)\b", re.M)
 
 
 class TestCatalog:

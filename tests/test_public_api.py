@@ -100,11 +100,20 @@ class TestExportSurface:
                 importlib.import_module("repro.service"), name
             )
 
-    def test_deprecated_aliases_stay_listed(self):
-        # The one-release deprecation window: the names remain importable
-        # (and therefore listed) until the shims are dropped.
+    def test_removed_serving_shims_are_gone(self):
+        # The PR 5 lazy deprecation shims had a one-release window; it has
+        # passed.  The names must be absent from the top level for good —
+        # the low-level API lives in repro.shard.
         for name in ("ShardedEngine", "Partition", "partition_graph"):
-            assert name in repro.__all__
+            assert name not in repro.__all__
+            with pytest.raises(AttributeError):
+                getattr(repro, name)
+            assert hasattr(importlib.import_module("repro.shard"), name)
+
+    def test_kernel_dispatch_surface_exported(self):
+        graph_pkg = importlib.import_module("repro.graph")
+        for name in ("KERNELS", "KernelRegistry", "ReachBatch", "reach_batch", "traverse"):
+            assert name in graph_pkg.__all__, f"repro.graph.__all__ is missing {name}"
 
     def test_star_import_of_service_is_clean(self):
         namespace: dict = {}

@@ -524,14 +524,10 @@ class TestServiceLifecycle:
 # Deprecation shims
 # --------------------------------------------------------------------------- #
 class TestDeprecationShims:
-    @pytest.mark.parametrize("name", ("ShardedEngine", "Partition", "partition_graph"))
-    def test_top_level_serving_aliases_warn_but_work(self, name):
-        import repro
-        import repro.shard
-
-        with pytest.warns(DeprecationWarning, match="GraphService"):
-            attribute = getattr(repro, name)
-        assert attribute is getattr(repro.shard, name)
+    # The PR 5 lazy top-level aliases (ShardedEngine, Partition,
+    # partition_graph) are gone after their one-release window; removal is
+    # pinned in tests/test_public_api.py.  What stays pinned here: the
+    # low-level imports they pointed at remain clean and warning-free.
 
     def test_low_level_imports_stay_silent(self):
         with warnings.catch_warnings():

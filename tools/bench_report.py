@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Machine-readable benchmark reports plus the CI regression gate.
 
-Runs six quick smoke suites and writes one JSON report each:
+Runs seven quick smoke suites and writes one JSON report each:
 
 * ``BENCH_engine.json`` — the batched query engine: serial vs process-pool
   vs warm-daemon-pool throughput on an RBReach batch, the daemon-backed
@@ -17,7 +17,10 @@ Runs six quick smoke suites and writes one JSON report each:
   the raw engine on warm batches, planner-vs-naive-serial speedup, and the
   bit-parity witnesses of the routing contract;
 * ``BENCH_latency.json`` — open-loop tail latency (p50/p99/p999) of the
-  async front-end under seeded Poisson and burst arrival schedules.
+  async front-end under seeded Poisson and burst arrival schedules;
+* ``BENCH_kernels.json`` — the word-parallel bitset kernel tier: one
+  multi-source ``reach_batch`` sweep vs a per-source ``reach_mask`` loop,
+  plain and absorbing (landmark-style stop sets), with bit-parity gated.
 
 Each report carries a ``gates`` table naming the metrics CI guards.  Gated
 metrics are deliberately *relative* (speedups, hit rates, 0/1 correctness
@@ -406,6 +409,48 @@ def service_suite() -> dict:
     }
 
 
+def kernels_suite() -> dict:
+    """Multi-source batched bitset BFS vs the per-source reach_mask loop."""
+    import sys as _sys
+
+    bench_dir = str(ROOT / "benchmarks")
+    if bench_dir not in _sys.path:
+        _sys.path.insert(0, bench_dir)
+    from bench_kernels_batched import measure_kernels_batched
+
+    metrics = measure_kernels_batched(seed=SEED)
+    return {
+        "suite": "kernels",
+        "schema_version": 1,
+        "environment": _environment(),
+        "config": {
+            "dataset": metrics["dataset"],
+            "num_sources": metrics["num_sources"],
+            "num_nodes": metrics["num_nodes"],
+        },
+        "metrics": {
+            "batched_parity": metrics["batched_parity"],
+            "batched_speedup": metrics["batched_speedup"],
+            "batched_loop_seconds": metrics["batched_loop_seconds"],
+            "batched_batch_seconds": metrics["batched_batch_seconds"],
+            "absorbing_parity": metrics["absorbing_parity"],
+            "absorbing_speedup": metrics["absorbing_speedup"],
+            "absorbing_loop_seconds": metrics["absorbing_loop_seconds"],
+            "absorbing_batch_seconds": metrics["absorbing_batch_seconds"],
+        },
+        # The two parity witnesses are hard 0/1 correctness gates (any drop
+        # fails at every tolerance): a fast-but-wrong sweep must never pass.
+        # The speedups are single-process and word-parallel — no pool, no
+        # core-count dependence — so they gate on every runner.
+        "gates": {
+            "batched_parity": "higher",
+            "absorbing_parity": "higher",
+            "batched_speedup": "higher",
+            "absorbing_speedup": "higher",
+        },
+    }
+
+
 def latency_suite() -> dict:
     """Open-loop tail latency of the async front-end under arrival schedules."""
     import sys as _sys
@@ -451,6 +496,7 @@ SUITES = {
     "shard": shard_suite,
     "service": service_suite,
     "latency": latency_suite,
+    "kernels": kernels_suite,
 }
 
 
