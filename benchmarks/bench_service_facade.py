@@ -14,6 +14,11 @@ Two claims, both gated in CI through the ``service`` suite of
 * **metrics instrumentation ≤ 2%** — the same warm batch with the
   ``repro.obs`` metrics layer enabled costs at most 2% more wall time than
   with it disabled (instrumentation is batch-granular by design).
+* **tracing ≤ 2%** — the same warm batch with distributed tracing *on*
+  (an in-memory flight recorder collecting every span) costs at most 2%
+  more wall time than with tracing off; the tracing-off state itself is a
+  no-op span object per stage, so this is the stronger form of the
+  "tracing disabled is free" claim.
 * **the planner never loses to naive serial** — on the bench workload the
   auto-planner's chosen backend must not be slower than forcing the serial
   default (within measurement tolerance).  On a multi-core runner the
@@ -44,6 +49,9 @@ MAX_FACADE_OVERHEAD = 0.05
 # this comparison takes more best-of rounds than the facade one to converge.
 MAX_METRICS_OVERHEAD = 0.02
 METRICS_ROUNDS = 12
+# Same bar for distributed tracing: a warm batch traced into an in-memory
+# flight recorder (~7 span records) vs untraced.
+MAX_TRACING_OVERHEAD = 0.02
 # >= 1.0 is the claim; the assertion leaves a little room for timer noise
 # on a tied decision (planner picks serial -> identical path, speedup ~1.0).
 MIN_PLANNER_SPEEDUP = 0.92
@@ -148,6 +156,29 @@ def measure_service_facade(seed: int = BENCH_SEED) -> dict:
     finally:
         obs.set_enabled(was_enabled)
 
+    # --- tracing overhead: same warm batch, flight recorder on vs off ---
+    from repro.obs import flight as obs_flight
+    from repro.obs import trace as obs_trace
+
+    recorder = obs_flight.FlightRecorder(capacity=8)
+
+    def _tracing_on():
+        obs_trace.add_collector(recorder)
+        try:
+            service.run_batch(requests)
+        finally:
+            obs_trace.remove_collector(recorder)
+
+    def _tracing_off():
+        service.run_batch(requests)
+
+    tracing_overhead, tracing_off_wall, tracing_on_wall = _paired_overhead(
+        _tracing_off,
+        _tracing_on,
+        rounds=METRICS_ROUNDS,
+        accept_below=MAX_TRACING_OVERHEAD / 2,
+    )
+
     # --- façade overhead, pure cache-hit path (informational) ---
     cached_engine = QueryEngine(graph, cache_size=QUERIES + 1)
     cached_engine.prepare(reach_alphas=[ALPHA])
@@ -192,6 +223,9 @@ def measure_service_facade(seed: int = BENCH_SEED) -> dict:
         "metrics_on_wall_seconds": round(metrics_on_wall, 4),
         "metrics_off_wall_seconds": round(metrics_off_wall, 4),
         "metrics_overhead": round(metrics_overhead, 4),
+        "tracing_on_wall_seconds": round(tracing_on_wall, 4),
+        "tracing_off_wall_seconds": round(tracing_off_wall, 4),
+        "tracing_overhead": round(tracing_overhead, 4),
         "cache_hit_direct_ms": round(direct_hit * 1000, 3),
         "cache_hit_service_ms": round(service_hit * 1000, 3),
         "cache_hit_overhead": round(cache_hit_overhead, 4),
@@ -217,6 +251,9 @@ def metrics():
             f"metrics: on={result['metrics_on_wall_seconds']:.3f}s "
             f"off={result['metrics_off_wall_seconds']:.3f}s "
             f"overhead={result['metrics_overhead']:.2%}",
+            f"tracing: on={result['tracing_on_wall_seconds']:.3f}s "
+            f"off={result['tracing_off_wall_seconds']:.3f}s "
+            f"overhead={result['tracing_overhead']:.2%}",
             f"planner: backend={result['planner_backend']}/{result['planner_executor']} "
             f"cores={result['cores']} serial={result['serial_wall_seconds']:.3f}s "
             f"auto={result['planner_wall_seconds']:.3f}s "
@@ -247,6 +284,16 @@ def test_metrics_overhead_within_2pct(metrics):
         f"exceeds {MAX_METRICS_OVERHEAD:.0%} "
         f"(on={metrics['metrics_on_wall_seconds']:.3f}s, "
         f"off={metrics['metrics_off_wall_seconds']:.3f}s)"
+    )
+
+
+def test_tracing_overhead_within_2pct(metrics):
+    """Tracing a warm batch into the flight recorder costs <= 2% wall time."""
+    assert metrics["tracing_overhead"] <= MAX_TRACING_OVERHEAD, (
+        f"tracing overhead {metrics['tracing_overhead']:.2%} "
+        f"exceeds {MAX_TRACING_OVERHEAD:.0%} "
+        f"(on={metrics['tracing_on_wall_seconds']:.3f}s, "
+        f"off={metrics['tracing_off_wall_seconds']:.3f}s)"
     )
 
 

@@ -32,6 +32,12 @@ Subcommands
     per-delta staleness, the planner's patch/rebuild decisions and cache
     retention; ``--verify`` additionally checks every batch against a
     freshly opened service (the rebuild-equivalence contract).
+``trace``
+    Record a traced batch through the service with the flight recorder on,
+    resolve the p99 latency exemplar to its assembled cross-process
+    timeline, print it as a waterfall with the critical path marked, and
+    optionally export Chrome trace-event JSON (``--export``) loadable in
+    ``chrome://tracing`` or Perfetto.
 ``shard``
     Partition a dataset into ``k`` shards and answer a sampled workload
     through the service's sharded backend (scatter policy: the full PR 4
@@ -203,6 +209,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also answer the batch on a single-graph service and report agreement + speedup",
     )
     shard_parser.add_argument("--output", type=Path, default=None, help="write a JSON report here")
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="record a traced batch and print its cross-process waterfall timeline",
+        parents=[service_flags],
+    )
+    trace_parser.add_argument("--dataset", default="youtube-small", help="dataset the service serves")
+    trace_parser.add_argument("--count", type=int, default=200, help="sampled workload size")
+    trace_parser.add_argument(
+        "--batches", type=int, default=3, help="batches to record (later ones exercise the cache)"
+    )
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="slow-query log threshold in milliseconds (default 100)",
+    )
+    trace_parser.add_argument(
+        "--export",
+        type=Path,
+        default=None,
+        help="write Chrome trace-event JSON of the selected timeline here "
+        "(load in chrome://tracing or Perfetto)",
+    )
 
     stats_parser = subparsers.add_parser(
         "stats",
@@ -568,6 +599,59 @@ def _command_shard(args) -> int:
     return exit_code
 
 
+def _command_trace(args) -> int:
+    from repro.obs import flight
+    from repro.service import GraphService
+
+    config = config_from_args(args)
+    graph = load_dataset(args.dataset, seed=args.seed)
+    requests, _, _ = sample_requests(graph, "reach", args.count, "4,8", args.seed)
+    with GraphService(graph, config) as service:
+        service.prepare(reach_alphas=[config.alpha])
+        slow_ms = args.slow_ms if args.slow_ms is not None else flight.DEFAULT_SLOW_MS
+        service.enable_tracing(
+            capacity=max(flight.DEFAULT_CAPACITY, args.batches), slow_ms=slow_ms
+        )
+        try:
+            print(
+                f"trace: dataset={args.dataset} n={len(requests)} batches={args.batches} "
+                f"executor={config.executor} workers={config.workers or 'auto'}"
+            )
+            for number in range(1, max(1, args.batches) + 1):
+                report = service.run_batch(requests)
+                print(
+                    f"batch {number}: wall={report.wall_seconds * 1000:.1f}ms "
+                    f"trace={report.trace_id}"
+                )
+            trace_id, timeline = service.trace_for_percentile("service.batch.seconds", 0.99)
+            if timeline is None:
+                # Exemplar evicted or missing: fall back to the slowest
+                # recorded timeline so the command still shows something.
+                recent = service.recent_traces()
+                timeline = max(recent, key=lambda tl: tl.wall_ms) if recent else None
+            if timeline is None:
+                print("no completed timelines were recorded", file=sys.stderr)
+                return 1
+            print(f"\np99 exemplar: trace {trace_id or timeline.trace_id}")
+            slow = service.slow_traces()
+            if slow:
+                print(
+                    "slow-query log (>= %.1fms): %s"
+                    % (slow_ms, ", ".join(f"{tl.trace_id} ({tl.wall_ms:.1f}ms)" for tl in slow))
+                )
+            print()
+            print(flight.format_waterfall(timeline))
+            if args.export is not None:
+                flight.write_chrome_trace(timeline, args.export)
+                print(
+                    f"(chrome trace written to {args.export} — load in "
+                    "chrome://tracing or Perfetto)"
+                )
+        finally:
+            service.disable_tracing()
+    return 0
+
+
 def _command_stats(args) -> int:
     import json
 
@@ -644,6 +728,8 @@ def _dispatch(parser: argparse.ArgumentParser, args) -> int:
         return _command_update(args)
     if args.command == "shard":
         return _command_shard(args)
+    if args.command == "trace":
+        return _command_trace(args)
     if args.command == "stats":
         return _command_stats(args)
     parser.error(f"unknown command {args.command!r}")

@@ -89,6 +89,11 @@ def _daemon_main(conn: Any, metrics_enabled: bool = True) -> None:  # pragma: no
     # without this reset its first drain would ship the parent's own counts
     # back to the parent, which would merge them a second time.
     obs.REGISTRY.reset()
+    # Same hazard for tracing: a forked child inherits the parent's open span
+    # stack (its spans would claim the parent's span IDs as parents) and the
+    # parent's sink file descriptor (interleaved writes).  Worker spans travel
+    # back as buffered records instead; the parent is the only writer.
+    obs.trace.reset_for_child()
 
     def drained_stats() -> Optional[Dict[str, Any]]:
         if not obs.enabled():
@@ -119,14 +124,25 @@ def _daemon_main(conn: Any, metrics_enabled: bool = True) -> None:  # pragma: no
             handle = new_handle
             conn.send(("ready", seq))
         elif kind == "task":
-            _, seq, batch, index, chunk_fn, task = message
+            _, seq, batch, index, chunk_fn, task, ctx, _send_ts = message
+            recv_ts = time.perf_counter()
             if seq != state_seq or state is None:
                 conn.send(("stale", batch, index))
                 continue
             try:
                 chunk_started = time.perf_counter()
-                with obs.span("daemon.worker", chunk=index):
-                    result = chunk_fn(state, task)
+                if ctx is None:
+                    spans = None
+                    with obs.span("daemon.worker", chunk=index):
+                        result = chunk_fn(state, task)
+                else:
+                    # Buffer this chunk's spans and ship them back with the
+                    # result; activating the dispatched context parents them
+                    # under the parent's engine.batch span.
+                    with obs.trace.buffered_spans() as spans:
+                        with obs.context.activate(ctx):
+                            with obs.span("daemon.worker", chunk=index):
+                                result = chunk_fn(state, task)
             except BaseException:
                 conn.send(("err", batch, index, traceback.format_exc()))
             else:
@@ -134,7 +150,18 @@ def _daemon_main(conn: Any, metrics_enabled: bool = True) -> None:  # pragma: no
                 obs.histogram("daemon.worker.chunk.seconds").observe(
                     time.perf_counter() - chunk_started
                 )
-                conn.send(("ok", batch, index, result, drained_stats()))
+                conn.send(
+                    (
+                        "ok",
+                        batch,
+                        index,
+                        result,
+                        drained_stats(),
+                        spans,
+                        recv_ts,
+                        time.perf_counter(),
+                    )
+                )
         elif kind == "ping":
             conn.send(("pong", message[1], state_seq, os.getpid(), drained_stats()))
         elif kind == "stop":
@@ -148,6 +175,51 @@ def _daemon_main(conn: Any, metrics_enabled: bool = True) -> None:  # pragma: no
         conn.close()
     except Exception:
         pass
+
+
+def _emit_worker_trace(
+    ctx: "obs.TraceContext",
+    index: int,
+    spans: List[Dict[str, Any]],
+    dispatch_start: float,
+    send_ts: float,
+    recv_ts: float,
+    done_ts: float,
+) -> None:
+    """Fold one chunk's worker-side trace back into the parent's timeline.
+
+    Re-emits the buffered worker spans into the parent's sink/collectors,
+    then synthesises the segments that exist only as timestamp differences
+    across the pipe (``perf_counter`` is system-wide monotonic here, so
+    parent and worker clocks are directly comparable): queue wait before
+    dispatch, and pipe transit in each direction.
+    """
+    parent_recv = time.perf_counter()
+    for record in spans:
+        obs.trace.emit(record)
+    obs.trace.emit_segment(
+        "worker.queue.wait",
+        ts=dispatch_start,
+        wall_ms=(send_ts - dispatch_start) * 1e3,
+        ctx=ctx,
+        chunk=index,
+    )
+    obs.trace.emit_segment(
+        "worker.pipe.transit",
+        ts=send_ts,
+        wall_ms=(recv_ts - send_ts) * 1e3,
+        ctx=ctx,
+        chunk=index,
+        direction="outbound",
+    )
+    obs.trace.emit_segment(
+        "worker.pipe.transit",
+        ts=done_ts,
+        wall_ms=(parent_recv - done_ts) * 1e3,
+        ctx=ctx,
+        chunk=index,
+        direction="inbound",
+    )
 
 
 class _Daemon:
@@ -384,19 +456,25 @@ class DaemonPool:
 
     def _dispatch_locked(self, tasks: List[Any], chunk_fn: Callable) -> List[List[Any]]:
         batch = self._batch_seq
+        dispatch_start = time.perf_counter()
+        # The dispatching thread's innermost span (engine.batch) becomes the
+        # parent of every worker-side span; None when tracing is off, which
+        # keeps the pipe messages and the worker fast path unchanged.
+        ctx = obs.context.current() if obs.trace.tracing() else None
         results: List[Optional[List[Any]]] = [None] * len(tasks)
         attempts = [0] * len(tasks)
         pending = deque(range(len(tasks)))
-        inflight: Dict[_Daemon, int] = {}
+        inflight: Dict[_Daemon, Tuple[int, float]] = {}
         idle = deque(worker for worker in self._workers)
 
         def requeue(worker: _Daemon, reason: str) -> None:
             """A worker died: salvage its chunk, restart it, keep going."""
-            index = inflight.pop(worker, None)
+            entry = inflight.pop(worker, None)
             replacement = self._restart(worker)
             idle.append(replacement)
-            if index is None:
+            if entry is None:
                 return
+            index = entry[0]
             attempts[index] += 1
             obs.counter("daemon.retries").inc()
             if attempts[index] > MAX_TASK_RETRIES:
@@ -413,13 +491,16 @@ class DaemonPool:
                     requeue(worker, "died while idle")
                     continue
                 index = pending.popleft()
+                send_ts = time.perf_counter()
                 try:
-                    worker.conn.send(("task", self._state_seq, batch, index, chunk_fn, tasks[index]))
+                    worker.conn.send(
+                        ("task", self._state_seq, batch, index, chunk_fn, tasks[index], ctx, send_ts)
+                    )
                 except (BrokenPipeError, OSError):
                     pending.appendleft(index)
                     requeue(worker, "pipe closed on dispatch")
                     continue
-                inflight[worker] = index
+                inflight[worker] = (index, send_ts)
             if not inflight:
                 continue
             waitables: List[Any] = []
@@ -445,11 +526,15 @@ class DaemonPool:
                 if kind in ("ok", "err", "stale") and message[1] != batch:
                     continue  # fenced reply from an abandoned batch
                 if kind == "ok":
-                    _, _, index, result, worker_stats = message
+                    index, result, worker_stats = message[2], message[3], message[4]
                     obs.REGISTRY.merge(worker_stats)
                     results[index] = result
-                    inflight.pop(worker)
+                    _, send_ts = inflight.pop(worker)
                     idle.append(worker)
+                    if ctx is not None and len(message) > 5 and message[5] is not None:
+                        _emit_worker_trace(
+                            ctx, index, message[5], dispatch_start, send_ts, message[6], message[7]
+                        )
                 elif kind == "err":
                     _, _, index, text = message
                     inflight.pop(worker)

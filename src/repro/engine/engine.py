@@ -485,6 +485,7 @@ class QueryEngine:
                     task_fingerprints.append([fingerprint for _, _, fingerprint in chunk])
 
         with obs.span("engine.batch", executor=runner.name, chunks=len(tasks)):
+            batch_trace = obs.context.trace_id()
             chunk_results = runner.run(self._prepared, tasks)
 
         evictions = 0
@@ -517,7 +518,7 @@ class QueryEngine:
         if evictions:
             obs.counter("engine.cache.evictions").inc(evictions)
         obs.histogram("engine.batch.size", scheme="count").observe(float(len(queries)))
-        obs.histogram("engine.batch.seconds").observe(wall)
+        obs.histogram("engine.batch.seconds").observe(wall, exemplar=batch_trace)
         return BatchReport(
             answers=answers,
             alpha=alpha,

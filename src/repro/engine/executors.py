@@ -35,12 +35,14 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.exceptions import EngineError
 from repro.engine.prepared import PreparedGraph, publish_state
 from repro.engine.queries import REACH, SIMULATION, SUBGRAPH
+from repro.obs import context as trace_context
 from repro.obs import trace
 
 Task = Tuple[str, float, Sequence[Any]]
@@ -107,12 +109,19 @@ _PARENT_LOCK = threading.Lock()
 def _initialize_worker(state: Any) -> None:
     """Pool initializer: receive the shared read-only state once per worker."""
     global _WORKER_STATE
+    trace.reset_for_child()
     _WORKER_STATE = state
 
 
 def _initialize_worker_from_parent(token: int) -> None:
-    """Fork-only pool initializer: adopt the state inherited copy-on-write."""
+    """Fork-only pool initializer: adopt the state inherited copy-on-write.
+
+    The tracing reset matters most here: a forked worker inherits the
+    parent's open span stack and sink, and would otherwise emit records
+    claiming the parent's span IDs on the parent's file descriptor.
+    """
     global _WORKER_STATE
+    trace.reset_for_child()
     _WORKER_STATE = _PARENT_STATES[token]
 
 
@@ -131,20 +140,31 @@ def _initialize_worker_shared(handle: Any) -> None:
     without it, ``initargs`` would pickle the full prepared state per worker.
     """
     global _WORKER_STATE, _WORKER_HANDLE
+    trace.reset_for_child()
     _WORKER_HANDLE = handle
     _WORKER_STATE = handle.attach()
 
 
-def _run_task_in_worker(payload: Tuple[Any, Any]) -> List[Any]:
+def _run_task_in_worker(payload: Tuple[Any, Any, Any]) -> Any:
     """Entry point executed inside a worker process.
 
-    ``payload`` is ``(chunk_fn, task)``; the chunk function is a module-level
-    callable (pickled by reference) applied to the worker's shared state.
+    ``payload`` is ``(chunk_fn, task, ctx)``; the chunk function is a
+    module-level callable (pickled by reference) applied to the worker's
+    shared state.  With a :class:`~repro.obs.context.TraceContext` the
+    worker buffers its spans and returns
+    ``(result, spans, recv_ts, done_ts)`` so the parent can fold them into
+    the batch timeline; with ``ctx=None`` it returns the bare result.
     """
     if _WORKER_STATE is None:  # pragma: no cover - initializer always ran
         raise EngineError("worker process was not initialized with shared state")
-    chunk_fn, task = payload
-    return chunk_fn(_WORKER_STATE, task)
+    chunk_fn, task, ctx = payload
+    if ctx is None:
+        return chunk_fn(_WORKER_STATE, task)
+    recv_ts = time.perf_counter()
+    with trace.buffered_spans() as spans:
+        with trace_context.activate(ctx):
+            result = chunk_fn(_WORKER_STATE, task)
+    return result, spans, recv_ts, time.perf_counter()
 
 
 def _process_context():
@@ -190,8 +210,18 @@ class ThreadExecutor:
 
     def run(self, state: Any, tasks: Sequence[Any], chunk_fn=answer_chunk) -> List[List[Any]]:
         """Chunk results, in task order."""
+        # Trace context is thread-local; hand the dispatching thread's span
+        # to the pool threads so their chunk spans join the batch timeline.
+        ctx = trace_context.current() if trace.tracing() else None
+
+        def call(task: Any) -> List[Any]:
+            if ctx is None:
+                return chunk_fn(state, task)
+            with trace_context.activate(ctx):
+                return chunk_fn(state, task)
+
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(lambda task: chunk_fn(state, task), tasks))
+            return list(pool.map(call, tasks))
 
 
 class ProcessExecutor:
@@ -238,6 +268,7 @@ class ProcessExecutor:
             # only the segment names — the worker attaches zero-copy.
             handle = publish_state(state)
             initializer, initargs = _initialize_worker_shared, (handle,)
+        ctx = trace_context.current() if trace.tracing() else None
         try:
             with ProcessPoolExecutor(
                 max_workers=self.workers,
@@ -245,9 +276,36 @@ class ProcessExecutor:
                 initializer=initializer,
                 initargs=initargs,
             ) as pool:
-                return list(
-                    pool.map(_run_task_in_worker, [(chunk_fn, task) for task in tasks])
+                if ctx is None:
+                    return list(
+                        pool.map(_run_task_in_worker, [(chunk_fn, task, None) for task in tasks])
+                    )
+                dispatch_start = time.perf_counter()
+                wrapped = list(
+                    pool.map(_run_task_in_worker, [(chunk_fn, task, ctx) for task in tasks])
                 )
+                parent_recv = time.perf_counter()
+                results: List[List[Any]] = []
+                for index, (result, spans, recv_ts, done_ts) in enumerate(wrapped):
+                    for record in spans:
+                        trace.emit(record)
+                    trace.emit_segment(
+                        "worker.queue.wait",
+                        ts=dispatch_start,
+                        wall_ms=(recv_ts - dispatch_start) * 1e3,
+                        ctx=ctx,
+                        chunk=index,
+                    )
+                    trace.emit_segment(
+                        "worker.pipe.transit",
+                        ts=done_ts,
+                        wall_ms=(parent_recv - done_ts) * 1e3,
+                        ctx=ctx,
+                        chunk=index,
+                        direction="inbound",
+                    )
+                    results.append(result)
+                return results
         finally:
             if token is not None:
                 _PARENT_STATES.pop(token, None)

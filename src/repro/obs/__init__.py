@@ -1,23 +1,30 @@
 """repro.obs — dependency-free observability for the serving stack.
 
-Two small pieces:
+Four small pieces:
 
 * :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms
   in a process-local registry with a mergeable snapshot format (daemon
   workers drain theirs and ship the delta back over the task pipes);
+  latency buckets carry **exemplars**: the last trace ID per bucket;
 * :mod:`repro.obs.trace` — per-stage wall/CPU span contexts emitted as
-  JSON lines, off by default.
+  JSON lines, off by default;
+* :mod:`repro.obs.context` — propagable trace/span identity
+  (:class:`~repro.obs.context.TraceContext` rides pipe messages and chunk
+  payloads so worker spans parent correctly across processes);
+* :mod:`repro.obs.flight` — a bounded flight recorder of recently
+  assembled per-query timelines plus a slow-query log.
 
 ``CATALOG`` below is the single source of truth for every metric the
 stack may register: name → (kind, unit, emitting module).  The table in
 ``docs/OBSERVABILITY.md`` is generated from the same names, and
 ``tests/test_obs.py`` fails if either the docs or the live registry
-drift from it.
+drift from it.  ``SPANS`` plays the same role for trace span names.
 """
 
 from __future__ import annotations
 
-from repro.obs import trace
+from repro.obs import context, trace
+from repro.obs.context import TraceContext
 from repro.obs.metrics import (
     REGISTRY,
     Counter,
@@ -36,6 +43,7 @@ from repro.obs.metrics import (
     write_snapshot,
 )
 from repro.obs.trace import span
+from repro.obs import flight  # noqa: E402  (needs metrics + trace initialised)
 
 #: Every metric the stack may register: name -> (kind, unit, emitting module).
 CATALOG = {
@@ -96,6 +104,10 @@ SPANS = {
     "engine.batch": "repro.engine.engine",
     "executor.chunk": "repro.engine.engine",
     "daemon.worker": "repro.engine.daemons",
+    "shard.batch": "repro.shard.engine",
+    # derived segments: synthesised from cross-process timestamps, not spans
+    "worker.queue.wait": "repro.engine.daemons",
+    "worker.pipe.transit": "repro.engine.daemons",
 }
 
 __all__ = [
@@ -106,8 +118,11 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "SPANS",
+    "TraceContext",
+    "context",
     "counter",
     "enabled",
+    "flight",
     "format_snapshot",
     "gauge",
     "histogram",

@@ -91,18 +91,26 @@ DEFAULT_SCHEME = "latency"
 # Metric types
 # --------------------------------------------------------------------------- #
 class Counter:
-    """A monotonically increasing total.  Merge = sum."""
+    """A monotonically increasing total.  Merge = sum.
 
-    __slots__ = ("name", "value")
+    ``exemplar`` remembers the trace ID of the last increment that carried
+    one — the bridge from an aggregate ("spillover happened 23 times") to a
+    concrete retrievable trace in the flight recorder.
+    """
+
+    __slots__ = ("name", "value", "exemplar")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self.exemplar: Optional[str] = None
 
-    def inc(self, amount: int = 1) -> None:
+    def inc(self, amount: int = 1, exemplar: Optional[str] = None) -> None:
         # Plain += under the GIL: a lost increment under exotic threading is
         # acceptable for telemetry; a lock per count is not.
         self.value += amount
+        if exemplar is not None:
+            self.exemplar = exemplar
 
 
 class Gauge:
@@ -132,7 +140,17 @@ class Histogram:
     Merge = element-wise bucket sum (schemes must match).
     """
 
-    __slots__ = ("name", "scheme", "bounds", "counts", "count", "sum", "min", "max")
+    __slots__ = (
+        "name",
+        "scheme",
+        "bounds",
+        "counts",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "exemplars",
+    )
 
     def __init__(self, name: str, scheme: str = DEFAULT_SCHEME):
         if scheme not in SCHEMES:
@@ -147,17 +165,23 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        # bucket index -> trace ID of the last observation that landed there
+        # and carried one, so a latency bucket links to a retrievable trace.
+        self.exemplars: Dict[int, str] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         # bisect_left returns len(bounds) for value > bounds[-1]: exactly
         # the overflow bucket's index.
-        self.counts[bisect_left(self.bounds, value)] += 1
+        index = bisect_left(self.bounds, value)
+        self.counts[index] += 1
         self.count += 1
         self.sum += value
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
+        if exemplar is not None:
+            self.exemplars[index] = exemplar
 
     def _bucket_edges(self, index: int) -> Tuple[float, float]:
         lo = self.bounds[index - 1] if index > 0 else (self.min if self.count else 0.0)
@@ -190,6 +214,46 @@ class Histogram:
             seen += bucket_count
         return self.max  # pragma: no cover - rank always lands in a bucket
 
+    def _bucket_index_for(self, q: float) -> int:
+        """Index of the bucket holding the nearest-rank ``q``-quantile.
+
+        Nearest-rank (smallest bucket whose cumulative count reaches
+        ``q * count``) rather than the interpolated rank
+        :meth:`percentile` uses: an exemplar lookup asks "which concrete
+        observation represents the tail", and nearest-rank lets a single
+        slow outlier own the p99 bucket instead of being interpolated
+        away.
+        """
+        rank = max(1.0, q * self.count)
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            seen += bucket_count
+            if seen >= rank:
+                return index
+        return len(self.counts) - 1  # pragma: no cover - rank lands in a bucket
+
+    def exemplar_for(self, q: float) -> Optional[str]:
+        """Trace ID exemplifying the ``q``-quantile's bucket.
+
+        When the quantile bucket itself has no exemplar, the nearest
+        exemplar-bearing bucket *above* it is preferred (a p99 lookup
+        should surface something at least as slow), falling back to the
+        nearest below.
+        """
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.exemplars or self.count == 0:
+            return None
+        index = self._bucket_index_for(q)
+        if index in self.exemplars:
+            return self.exemplars[index]
+        above = [i for i in self.exemplars if i > index]
+        if above:
+            return self.exemplars[min(above)]
+        return self.exemplars[max(i for i in self.exemplars if i < index)]
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
@@ -199,8 +263,9 @@ class _NoopCounter:
     __slots__ = ()
     name = "noop"
     value = 0
+    exemplar = None
 
-    def inc(self, amount: int = 1) -> None:
+    def inc(self, amount: int = 1, exemplar: Optional[str] = None) -> None:
         pass
 
 
@@ -224,11 +289,14 @@ class _NoopHistogram:
     sum = 0.0
     mean = 0.0
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         pass
 
     def percentile(self, q: float) -> float:
         return 0.0
+
+    def exemplar_for(self, q: float) -> Optional[str]:
+        return None
 
 
 _NOOP_COUNTER = _NoopCounter()
@@ -287,28 +355,43 @@ class MetricsRegistry:
 
         Bucket counts ship sparse (string index → count: JSON object keys
         are strings, and the snapshot must round-trip through both pickle
-        and JSON unchanged).
+        and JSON unchanged).  Exemplar keys (a per-bucket ``exemplars``
+        table on histograms, a top-level ``exemplars`` map for counters)
+        appear **only when non-empty**, so exemplar-free snapshots keep the
+        exact shape the merge-algebra properties are tested on.
         """
         with self._lock:
-            return {
+            snap: Dict[str, Any] = {
                 "counters": {name: c.value for name, c in self._counters.items()},
                 "gauges": {name: g.value for name, g in self._gauges.items()},
-                "histograms": {
-                    name: {
-                        "scheme": h.scheme,
-                        "count": h.count,
-                        "sum": h.sum,
-                        "min": h.min if h.count else None,
-                        "max": h.max if h.count else None,
-                        "buckets": {
-                            str(index): value
-                            for index, value in enumerate(h.counts)
-                            if value
-                        },
-                    }
-                    for name, h in self._histograms.items()
-                },
+                "histograms": {},
             }
+            for name, h in self._histograms.items():
+                payload: Dict[str, Any] = {
+                    "scheme": h.scheme,
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                    "buckets": {
+                        str(index): value
+                        for index, value in enumerate(h.counts)
+                        if value
+                    },
+                }
+                if h.exemplars:
+                    payload["exemplars"] = {
+                        str(index): trace_id for index, trace_id in h.exemplars.items()
+                    }
+                snap["histograms"][name] = payload
+            counter_exemplars = {
+                name: c.exemplar
+                for name, c in self._counters.items()
+                if c.exemplar is not None
+            }
+            if counter_exemplars:
+                snap["exemplars"] = counter_exemplars
+            return snap
 
     def drain(self) -> Dict[str, Any]:
         """Snapshot, then reset — the delta-shipping primitive.
@@ -336,8 +419,8 @@ class MetricsRegistry:
             return
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(value)
-        for name, value in snapshot.get("gauges", {}).items():
-            self.gauge(name).set_max(value)
+        for name, trace_id in snapshot.get("exemplars", {}).items():
+            self.counter(name).inc(0, exemplar=trace_id)
         for name, payload in snapshot.get("histograms", {}).items():
             histogram = self.histogram(name, payload.get("scheme", DEFAULT_SCHEME))
             if isinstance(histogram, _NoopHistogram):
@@ -350,21 +433,34 @@ class MetricsRegistry:
                 histogram.min = payload["min"]
             if payload.get("max") is not None and payload["max"] > histogram.max:
                 histogram.max = payload["max"]
+            for index, trace_id in payload.get("exemplars", {}).items():
+                histogram.exemplars[int(index)] = trace_id
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set_max(value)
 
 
 def merge_snapshots(left: Dict[str, Any], right: Dict[str, Any]) -> Dict[str, Any]:
     """Merge two snapshots into a new one (associative and commutative).
 
-    Counters and histogram buckets add; gauges take the maximum.  The
-    pure-dict form (no registry involved) exists so aggregation pipelines
-    can fold worker snapshots without touching live metrics — and so the
-    associativity property is directly testable.
+    Counters and histogram buckets add; gauges take the maximum; exemplars
+    take the right side's (later) trace ID per bucket.  The pure-dict form
+    (no registry involved) exists so aggregation pipelines can fold worker
+    snapshots without touching live metrics — and so the associativity
+    property is directly testable.
     """
     merged: Dict[str, Any] = {
         "counters": dict(left.get("counters", {})),
         "gauges": dict(left.get("gauges", {})),
         "histograms": {
-            name: {**payload, "buckets": dict(payload.get("buckets", {}))}
+            name: {
+                **payload,
+                "buckets": dict(payload.get("buckets", {})),
+                **(
+                    {"exemplars": dict(payload["exemplars"])}
+                    if payload.get("exemplars")
+                    else {}
+                ),
+            }
             for name, payload in left.get("histograms", {}).items()
         },
     }
@@ -388,6 +484,14 @@ def merge_snapshots(left: Dict[str, Any], right: Dict[str, Any]) -> Dict[str, An
         for field, pick in (("min", min), ("max", max)):
             values = [v for v in (mine.get(field), payload.get(field)) if v is not None]
             mine[field] = pick(values) if values else None
+        if payload.get("exemplars"):
+            mine["exemplars"] = {
+                **mine.get("exemplars", {}),
+                **payload["exemplars"],
+            }
+    exemplars = {**left.get("exemplars", {}), **right.get("exemplars", {})}
+    if exemplars:
+        merged["exemplars"] = exemplars
     return merged
 
 

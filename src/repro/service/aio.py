@@ -142,6 +142,27 @@ class AsyncFrontEnd:
             self._closed = True
             self._pool.shutdown(wait=False)
 
+    # -- tracing passthroughs (the recorder lives on the service) -------- #
+    def enable_tracing(self, **kwargs):
+        """Start the service's flight recorder (see ``GraphService.enable_tracing``)."""
+        return self._service.enable_tracing(**kwargs)
+
+    def disable_tracing(self) -> None:
+        """Stop the service's flight recorder."""
+        self._service.disable_tracing()
+
+    def trace_timeline(self, trace_id):
+        """Assembled timeline for one trace ID (``None`` when unknown/off)."""
+        return self._service.trace_timeline(trace_id)
+
+    def recent_traces(self, limit: Optional[int] = None):
+        """Recently completed batch timelines, oldest first."""
+        return self._service.recent_traces(limit)
+
+    def slow_traces(self):
+        """The slow-query log of the service's flight recorder."""
+        return self._service.slow_traces()
+
     def _effective_alpha(self, request: ServiceRequest, alpha: Optional[float]) -> float:
         if request.alpha is not None:
             return request.alpha

@@ -29,7 +29,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.engine.engine import BatchReport, QueryEngine, UpdateReport
@@ -79,6 +79,9 @@ class ServiceBatchReport:
     shard_single: int = 0
     #: underlying sharded reports (one per α group that touched the shards).
     shard_reports: List[ShardBatchReport] = field(default_factory=list)
+    #: trace ID of this batch when tracing was on (``None`` otherwise) —
+    #: the key into the flight recorder and the REPRO_TRACE sink.
+    trace_id: Optional[str] = None
 
     @property
     def throughput(self) -> float:
@@ -351,6 +354,52 @@ class GraphService:
                 snapshot.admission_waits = self._frontend.admission.waits
             return snapshot
 
+    # ------------------------------------------------------------------ #
+    # Distributed tracing / flight recorder
+    # ------------------------------------------------------------------ #
+    def enable_tracing(
+        self,
+        capacity: int = obs.flight.DEFAULT_CAPACITY,
+        slow_ms: Optional[float] = obs.flight.DEFAULT_SLOW_MS,
+        slow_capacity: int = obs.flight.DEFAULT_SLOW_CAPACITY,
+    ) -> "obs.flight.FlightRecorder":
+        """Start recording per-batch timelines into a bounded flight recorder.
+
+        Every subsequent batch gets a ``trace_id`` on its report; completed
+        timelines (including worker-side spans shipped back over the daemon
+        and process pools) are retrievable via :meth:`trace_timeline`,
+        :meth:`recent_traces`, :meth:`slow_traces` and
+        :meth:`trace_for_percentile` until evicted.
+        """
+        return obs.flight.enable(
+            capacity=capacity, slow_ms=slow_ms, slow_capacity=slow_capacity
+        )
+
+    def disable_tracing(self) -> None:
+        """Stop recording and drop the flight recorder."""
+        obs.flight.disable()
+
+    def trace_timeline(self, trace_id: Optional[str]) -> Optional["obs.flight.Timeline"]:
+        """The assembled timeline for one batch's ``trace_id`` (or ``None``)."""
+        recorder = obs.flight.recorder()
+        return recorder.timeline(trace_id) if recorder is not None else None
+
+    def recent_traces(self, limit: Optional[int] = None) -> List["obs.flight.Timeline"]:
+        """Recently completed timelines, oldest first (empty when off)."""
+        recorder = obs.flight.recorder()
+        return recorder.recent(limit) if recorder is not None else []
+
+    def slow_traces(self) -> List["obs.flight.Timeline"]:
+        """The slow-query log: timelines at or above the recorder's threshold."""
+        recorder = obs.flight.recorder()
+        return recorder.slow() if recorder is not None else []
+
+    def trace_for_percentile(
+        self, name: str = "service.batch.seconds", q: float = 0.99
+    ) -> Tuple[Optional[str], Optional["obs.flight.Timeline"]]:
+        """Resolve a latency quantile to a concrete trace via its exemplar."""
+        return obs.flight.trace_for_percentile(name, q)
+
     def shard_profile(self) -> Dict[str, Any]:
         """Partition/boundary statistics (builds the sharded engine)."""
         with self._lock:
@@ -415,6 +464,7 @@ class GraphService:
             for item in requests
         ]
         batch_alpha = alpha if alpha is not None else self._config.alpha
+        batch_trace = obs.context.trace_id()
         with obs.span("planner", requests=len(items)):
             plan = self._planner.plan_batch(len(items), self.graph.size())
 
@@ -448,7 +498,10 @@ class GraphService:
         self._stats.shard_spilled += report.shard_single
         obs.counter("service.batches").inc()
         obs.counter("service.queries").inc(len(items))
-        obs.histogram("service.batch.seconds").observe(report.wall_seconds)
+        obs.histogram("service.batch.seconds").observe(
+            report.wall_seconds, exemplar=batch_trace
+        )
+        report.trace_id = batch_trace
         return report
 
     def _run_batch_grouped(

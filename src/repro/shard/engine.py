@@ -507,7 +507,9 @@ class ShardedEngine:
         if runner.name == "daemon" and tasks:
             runner.bind(self.daemon_pool(workers), version=self._states_version())
 
-        chunk_results = runner.run(states, tasks, chunk_fn=answer_shard_chunk)
+        with obs.span("shard.batch", executor=runner.name, chunks=len(tasks)):
+            batch_trace = obs.context.trace_id()
+            chunk_results = runner.run(states, tasks, chunk_fn=answer_shard_chunk)
 
         probe_results: Dict[int, Dict[bool, Tuple[FrozenSet[NodeId], int]]] = {}
         for task, results in zip(tasks, chunk_results):
@@ -554,8 +556,11 @@ class ShardedEngine:
         obs.counter("shard.reach.cross").inc(report.cross_reach)
         # Queries that escaped their home shard: cross-shard reach, local
         # probes that missed into boundary composition, spilled patterns.
+        # The exemplar pins the spillover to this batch's trace, so the
+        # known spillover soft spot is attributable to concrete queries.
+        spilled = report.cross_reach + report.miss_composed + report.pattern_spilled
         obs.counter("shard.spillover").inc(
-            report.cross_reach + report.miss_composed + report.pattern_spilled
+            spilled, exemplar=batch_trace if spilled else None
         )
         obs.counter("shard.boundary.probes").inc(
             sum(len(items) for items in probe_items.values())

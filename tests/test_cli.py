@@ -45,3 +45,34 @@ class TestRun:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTrace:
+    def test_trace_prints_waterfall_and_exports_chrome_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--dataset",
+                    "youtube-small",
+                    "--count",
+                    "40",
+                    "--batches",
+                    "2",
+                    "--executor",
+                    "serial",
+                    "--export",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "trace " in output and "service.query" in output
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        events = payload["traceEvents"]
+        assert events and all(event["ph"] == "X" for event in events)
+        assert events[0]["name"] == "service.query"

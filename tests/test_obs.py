@@ -18,14 +18,21 @@ What is pinned down here:
   docs cannot drift from the code;
 * daemon workers drain their registries into the parent exactly once
   (chunk counts merge without double counting, even under ``fork``), and
-  a crash-injected restart shows up in the global ``daemon.restarts``.
+  a crash-injected restart shows up in the global ``daemon.restarts``;
+* the trace sink accepts a path, a file object or the ``REPRO_TRACE``
+  environment variable, spans nest re-entrantly per thread, and every
+  span name used anywhere in ``src/repro`` is registered in
+  ``repro.obs.SPANS`` (grep-based lint).
 """
 
 from __future__ import annotations
 
+import io
+import json
 import os
 import re
 import signal
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -259,6 +266,173 @@ class TestCatalog:
             assert kind in ("counter", "gauge", "histogram"), name
             assert unit and module.startswith("repro."), name
         assert set(SCHEMES) == {"latency", "count"}
+
+
+# --------------------------------------------------------------------------- #
+# Trace sinks and span nesting
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def clean_trace():
+    """Each test starts and ends with tracing fully off."""
+    from repro.obs import context, trace
+
+    trace.set_sink(None)
+    yield trace
+    trace.set_sink(None)
+    context.reset()
+
+
+class TestTraceSinks:
+    def test_set_sink_with_path_writes_json_lines(self, clean_trace, tmp_path):
+        trace = clean_trace
+        path = tmp_path / "trace.jsonl"
+        trace.set_sink(str(path))
+        assert trace.tracing()
+        with obs.span("outer", stage=1):
+            with obs.span("inner"):
+                pass
+        trace.set_sink(None)  # closes the owned file
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [record["span"] for record in records] == ["inner", "outer"]
+        inner, outer = records
+        assert inner["trace"] == outer["trace"]
+        assert inner["parent_id"] == outer["id"]
+        assert outer["parent_id"] is None
+        assert inner["depth"] == 1 and outer["depth"] == 0
+        assert outer["attrs"] == {"stage": 1}
+        assert all(record["wall_ms"] >= 0 for record in records)
+
+    def test_set_sink_with_file_object_is_not_closed(self, clean_trace):
+        trace = clean_trace
+        sink = io.StringIO()
+        trace.set_sink(sink)
+        with obs.span("one"):
+            pass
+        trace.set_sink(None)
+        # An unowned sink must survive uninstalling (the caller owns it).
+        assert not sink.closed
+        assert json.loads(sink.getvalue())["span"] == "one"
+
+    def test_repro_trace_env_installs_sink_at_import(self, clean_trace, tmp_path, monkeypatch):
+        trace = clean_trace
+        path = tmp_path / "env-trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        trace._init_from_env()
+        try:
+            with obs.span("from-env"):
+                pass
+        finally:
+            trace.set_sink(None)
+        assert json.loads(path.read_text().splitlines()[0])["span"] == "from-env"
+
+    def test_span_returns_shared_noop_when_tracing_off(self, clean_trace):
+        assert not clean_trace.tracing()
+        assert obs.span("a") is obs.span("b")
+
+    def test_reentrant_nesting_is_per_thread(self, clean_trace):
+        """Two threads nest independently: no cross-thread parent linkage."""
+        trace = clean_trace
+        records = []
+        trace.add_collector(records.append)
+        barrier = threading.Barrier(2)
+
+        def worker(tag):
+            barrier.wait()
+            with obs.span(f"{tag}.outer"):
+                with obs.span(f"{tag}.mid"):
+                    with obs.span(f"{tag}.leaf"):
+                        pass
+
+        threads = [threading.Thread(target=worker, args=(tag,)) for tag in ("t1", "t2")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        trace.remove_collector(records.append)
+
+        by_tag = {}
+        for record in records:
+            by_tag.setdefault(record["span"].split(".")[0], []).append(record)
+        assert set(by_tag) == {"t1", "t2"}
+        for tag, group in by_tag.items():
+            by_name = {record["span"]: record for record in group}
+            outer, mid, leaf = (
+                by_name[f"{tag}.outer"], by_name[f"{tag}.mid"], by_name[f"{tag}.leaf"]
+            )
+            # One trace per thread, linked leaf -> mid -> outer -> root.
+            assert leaf["trace"] == mid["trace"] == outer["trace"]
+            assert leaf["parent_id"] == mid["id"]
+            assert mid["parent_id"] == outer["id"]
+            assert outer["parent_id"] is None
+            assert (outer["depth"], mid["depth"], leaf["depth"]) == (0, 1, 2)
+        # The two threads must not share a trace.
+        assert by_tag["t1"][0]["trace"] != by_tag["t2"][0]["trace"]
+
+
+# --------------------------------------------------------------------------- #
+# Span-name lint: every span used in src/repro is registered in SPANS
+# --------------------------------------------------------------------------- #
+_SPAN_CALL = re.compile(
+    r"(?:obs\.span|trace\.span|obs\.trace\.span)\(\s*['\"]([a-z0-9._]+)['\"]"
+)
+_SEGMENT_CALL = re.compile(r"emit_segment\(\s*\n?\s*['\"]([a-z0-9._]+)['\"]")
+
+
+class TestSpanLint:
+    def test_every_span_name_in_source_is_registered(self):
+        used = set()
+        for path in (ROOT / "src" / "repro").rglob("*.py"):
+            text = path.read_text(encoding="utf-8")
+            used.update(_SPAN_CALL.findall(text))
+            used.update(_SEGMENT_CALL.findall(text))
+        assert used, "the span lint found no obs.span(...) call sites at all"
+        unregistered = used - set(obs.SPANS)
+        assert not unregistered, (
+            f"span names used in src/repro but missing from obs.SPANS: "
+            f"{sorted(unregistered)}"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Histogram exemplars
+# --------------------------------------------------------------------------- #
+class TestExemplars:
+    def test_counter_and_histogram_exemplars_survive_snapshot_merge(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2, exemplar="t.1")
+        h = registry.histogram("h")
+        for _ in range(8):
+            h.observe(0.001, exemplar="t.fast")
+        h.observe(5.0, exemplar="t.slow")
+        snap = registry.snapshot()
+        assert snap["exemplars"] == {"c": "t.1"}
+        assert "t.slow" in snap["histograms"]["h"]["exemplars"].values()
+
+        other = MetricsRegistry()
+        other.merge(snap)
+        assert other.counter("c").exemplar == "t.1"
+        assert other.histogram("h").exemplar_for(0.99) == "t.slow"
+        assert other.histogram("h").exemplar_for(0.50) == "t.fast"
+
+        merged = merge_snapshots(snap, other.snapshot())
+        assert merged["exemplars"] == {"c": "t.1"}
+
+    def test_exemplar_free_snapshots_keep_legacy_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1)
+        registry.histogram("h").observe(0.5)
+        snap = registry.snapshot()
+        assert "exemplars" not in snap
+        assert "exemplars" not in snap["histograms"]["h"]
+
+    def test_exemplar_for_falls_back_to_nearest_bucket_above(self):
+        h = MetricsRegistry().histogram("h")
+        for _ in range(20):
+            h.observe(0.001)  # no exemplar on the p50/p99 bucket
+        h.observe(9.0, exemplar="t.slow")
+        assert h.exemplar_for(0.50) == "t.slow"  # nearest above wins
+        assert h.exemplar_for(1.0) == "t.slow"
+        assert MetricsRegistry().histogram("empty").exemplar_for(0.99) is None
 
 
 # --------------------------------------------------------------------------- #
