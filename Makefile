@@ -39,7 +39,7 @@ coverage:
 	$(PYTHON) tools/coverage_gate.py
 
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_backend_csr.py benchmarks/bench_engine_parallel.py benchmarks/bench_updates_incremental.py benchmarks/bench_shard_scatter.py benchmarks/bench_service_facade.py benchmarks/bench_service_latency.py benchmarks/bench_kernels_batched.py -q -p no:cacheprovider
+	$(PYTHON) -m pytest benchmarks/bench_backend_csr.py benchmarks/bench_engine_parallel.py benchmarks/bench_updates_incremental.py benchmarks/bench_shard_scatter.py benchmarks/bench_service_facade.py benchmarks/bench_service_latency.py benchmarks/bench_kernels_batched.py benchmarks/bench_subscriptions.py -q -p no:cacheprovider
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q -p no:cacheprovider

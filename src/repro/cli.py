@@ -32,6 +32,14 @@ Subcommands
     per-delta staleness, the planner's patch/rebuild decisions and cache
     retention; ``--verify`` additionally checks every batch against a
     freshly opened service (the rebuild-equivalence contract).
+``subscribe``
+    Register a sampled workload as *standing queries*, replay a generated
+    churn stream through ``GraphService.update`` and report how the
+    maintenance pass behaves: affected/skipped fractions per batch, answer
+    deltas pushed, maintenance wall time; ``--confine`` restricts churn to a
+    trailing fraction of the node space (localised churn is where standing
+    queries win), ``--verify`` checks every maintained answer against a
+    freshly opened service and replays each pushed delta log.
 ``trace``
     Record a traced batch through the service with the flight recorder on,
     resolve the p99 latency exemplar to its assembled cross-process
@@ -169,6 +177,51 @@ def _build_parser() -> argparse.ArgumentParser:
         help="after every delta, compare answers against a freshly opened service",
     )
     update_parser.add_argument("--output", type=Path, default=None, help="write a JSON report here")
+
+    subscribe_parser = subparsers.add_parser(
+        "subscribe",
+        help="register standing queries, replay a churn stream and report maintenance",
+        parents=[service_flags],
+    )
+    subscribe_parser.add_argument("--dataset", default="youtube-small", help="dataset the service serves")
+    subscribe_parser.add_argument(
+        "--kind",
+        choices=["reach", "sim", "sub", "mixed"],
+        default="mixed",
+        help="standing-query class (mixed = half reachability, half simulation patterns)",
+    )
+    subscribe_parser.add_argument(
+        "--count", type=int, default=32, help="number of standing subscriptions"
+    )
+    subscribe_parser.add_argument(
+        "--shape",
+        default="3,3",
+        help="pattern shape '|Vp|,|Ep|' for sampled pattern subscriptions (default 3,3)",
+    )
+    subscribe_parser.add_argument("--batches", type=int, default=8, help="number of delta batches")
+    subscribe_parser.add_argument("--ops", type=int, default=20, help="mutations per delta batch")
+    subscribe_parser.add_argument(
+        "--mix",
+        choices=["growth", "uniform"],
+        default="growth",
+        help="churn pattern: growth (attachment churn) or uniform (random rewiring)",
+    )
+    subscribe_parser.add_argument(
+        "--confine",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="confine churn to the trailing FRACTION of node ids (0 < f <= 1); "
+        "localised churn is where maintenance beats re-answering",
+    )
+    subscribe_parser.add_argument("--seed", type=int, default=0)
+    subscribe_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="after every delta, check maintained answers against a freshly "
+        "opened service; at the end, replay every pushed delta log",
+    )
+    subscribe_parser.add_argument("--output", type=Path, default=None, help="write a JSON report here")
 
     shard_parser = subparsers.add_parser(
         "shard",
@@ -475,6 +528,144 @@ def _command_update(args) -> int:
     return 1 if verify_failures else 0
 
 
+def _command_subscribe(args) -> int:
+    from repro.service import GraphService, ServiceConfig, replay
+    from repro.subscribe import answer_signature
+    from repro.workloads.deltas import generate_delta_stream
+
+    if args.count < 1:
+        raise SystemExit(f"--count must be >= 1, got {args.count}")
+    if args.confine is not None and not 0.0 < args.confine <= 1.0:
+        raise SystemExit(f"--confine must be in (0, 1], got {args.confine}")
+    config = config_from_args(args)
+    alpha = config.alpha
+    graph = load_dataset(args.dataset, seed=args.seed)
+
+    if args.kind == "mixed":
+        reach_count = args.count - args.count // 2
+        requests = sample_requests(graph, "reach", reach_count, args.shape, args.seed)[0]
+        if args.count // 2:
+            requests += sample_requests(
+                graph, "sim", args.count // 2, args.shape, args.seed
+            )[0]
+    else:
+        requests = sample_requests(graph, args.kind, args.count, args.shape, args.seed)[0]
+
+    confined = None
+    if args.confine is not None:
+        ordered = sorted(graph.nodes())
+        keep = max(1, int(len(ordered) * args.confine))
+        confined = ordered[len(ordered) - keep :]
+    stream = generate_delta_stream(
+        graph,
+        batches=args.batches,
+        ops_per_batch=args.ops,
+        mix=args.mix,
+        seed=args.seed,
+        confine_nodes=confined,
+    )
+
+    service = GraphService(graph, config)
+    started = time.perf_counter()
+    logs: dict = {}
+    subscriptions = []
+    for request in requests:
+        log: list = []
+        subscription = service.subscribe(request, sink=log.append)
+        logs[subscription.id] = log
+        subscriptions.append(subscription)
+    register_seconds = time.perf_counter() - started
+
+    print(
+        f"subscribe: dataset={args.dataset} kind={args.kind} standing={len(subscriptions)} "
+        f"alpha={alpha} mix={args.mix} batches={len(stream)} ops/batch={args.ops}"
+        + (f" confine={args.confine:.0%} of nodes" if args.confine is not None else "")
+    )
+    print(
+        f"registered: {len(subscriptions)} subscriptions in {register_seconds:.3f}s "
+        f"(answers materialised; epoch-0 snapshots pushed)"
+    )
+
+    affected = skipped = changed = 0
+    maintenance_seconds = 0.0
+    churn: dict = {}
+    verify_failures = 0
+    for batch_number, delta in enumerate(stream, start=1):
+        report = service.update(delta)
+        pass_report = report.maintenance
+        affected += pass_report.affected
+        skipped += pass_report.skipped
+        changed += pass_report.changed
+        maintenance_seconds += pass_report.wall_seconds
+        for op_kind, count in delta.ops_by_kind().items():
+            churn[op_kind] = churn.get(op_kind, 0) + count
+        line = (
+            f"batch {batch_number}: ops={delta.size()} mode={report.mode} "
+            f"affected={pass_report.affected}/{pass_report.subscriptions} "
+            f"({pass_report.affected_fraction:.0%}) deltas={pass_report.changed} "
+            f"maintain={pass_report.wall_seconds * 1000:.1f}ms"
+        )
+        if args.verify:
+            fresh = GraphService(
+                service.graph,
+                ServiceConfig(executor="serial", cache_size=0, mirror="never"),
+            )
+            fresh_answers = fresh.run_batch(requests, alpha=alpha).answers
+            identical = all(
+                subscription.signature()
+                == answer_signature(subscription.kind, answer)
+                for subscription, answer in zip(subscriptions, fresh_answers)
+            )
+            line += f" verify={'ok' if identical else 'MISMATCH'}"
+            if not identical:
+                verify_failures += 1
+        print(line)
+
+    evaluations = len(subscriptions) * max(1, len(stream))
+    replay_ok = None
+    if args.verify:
+        replay_ok = all(
+            answer_signature(subscription.kind, replay(logs[subscription.id]))
+            == subscription.signature()
+            for subscription in subscriptions
+        )
+        if not replay_ok:
+            verify_failures += 1
+    pushed = sum(len(log) for log in logs.values())
+    print(
+        f"stream: churn={churn or '{}'} affected={affected}/{evaluations} "
+        f"({affected / evaluations:.0%}) skipped={skipped} "
+        f"answer deltas={changed} (+{len(subscriptions)} snapshots, {pushed} pushed) "
+        f"maintenance={maintenance_seconds * 1000:.1f}ms total"
+    )
+    if replay_ok is not None:
+        print(f"replay: {'every pushed log replays to the live answer' if replay_ok else 'MISMATCH'}")
+
+    payload = {
+        "dataset": args.dataset,
+        "kind": args.kind,
+        "alpha": alpha,
+        "mix": args.mix,
+        "confine": args.confine,
+        "subscriptions": len(subscriptions),
+        "batches": len(stream),
+        "ops_per_batch": args.ops,
+        "churn_ops": churn,
+        "register_seconds": register_seconds,
+        "affected": affected,
+        "skipped": skipped,
+        "affected_fraction": affected / evaluations,
+        "answer_deltas": changed,
+        "deltas_pushed": pushed,
+        "maintenance_seconds": maintenance_seconds,
+        "verified": bool(args.verify),
+        "verify_failures": verify_failures,
+        "replay_parity": replay_ok,
+    }
+    write_json_report(args.output, payload)
+    return 1 if verify_failures else 0
+
+
 def _command_shard(args) -> int:
     from repro.service import GraphService, ServiceConfig
 
@@ -726,6 +917,8 @@ def _dispatch(parser: argparse.ArgumentParser, args) -> int:
         return _command_batch(args)
     if args.command == "update":
         return _command_update(args)
+    if args.command == "subscribe":
+        return _command_subscribe(args)
     if args.command == "shard":
         return _command_shard(args)
     if args.command == "trace":

@@ -35,6 +35,12 @@ mutated graph — see :mod:`repro.updates` and ``tests/test_updates.py``.
 from repro.engine.cache import AnswerCache, CacheStats
 from repro.engine.daemons import DaemonPool
 from repro.engine.engine import BatchReport, QueryEngine, UpdateReport, default_workers
+from repro.engine.invalidation import (
+    InvalidationDecision,
+    anchor_of,
+    partition_entries,
+    pattern_budget_changed,
+)
 from repro.engine.executors import (
     EXECUTORS,
     DaemonExecutor,
@@ -53,6 +59,7 @@ __all__ = [
     "DaemonExecutor",
     "DaemonPool",
     "EXECUTORS",
+    "InvalidationDecision",
     "PatternQuery",
     "PreparedGraph",
     "ProcessExecutor",
@@ -63,7 +70,10 @@ __all__ = [
     "ThreadExecutor",
     "UpdateReport",
     "UpdateSummary",
+    "anchor_of",
     "default_workers",
     "make_executor",
+    "partition_entries",
+    "pattern_budget_changed",
     "publish_state",
 ]

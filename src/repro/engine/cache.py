@@ -15,6 +15,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Tuple
 
+from repro import obs
+
 CacheKey = Tuple[str, float]
 
 _MISSING = object()
@@ -100,6 +102,8 @@ class AnswerCache:
             for key in keys:
                 if self._entries.pop(key, None) is not None:
                     dropped += 1
+        if dropped:
+            obs.counter("cache.invalidated").inc(dropped)
         return dropped
 
     def clear(self) -> None:

@@ -27,6 +27,7 @@ from repro import obs
 from repro.engine.cache import AnswerCache, CacheKey, CacheStats
 from repro.engine.daemons import DaemonPool
 from repro.engine.executors import Task, default_workers, make_executor
+from repro.engine.invalidation import anchor_of, partition_entries
 from repro.engine.prepared import (
     DEFAULT_COMPACT_THRESHOLD,
     DEFAULT_PATCH_THRESHOLD,
@@ -205,13 +206,10 @@ class QueryEngine:
     def _anchor_of(query: EngineQuery) -> Tuple[Any, ...]:
         """What part of the graph a cached answer depends on.
 
-        Reachability answers anchor on their endpoints; pattern answers on
-        the personalized match plus a ball-radius upper bound (``|Vp|`` ≥
-        the pattern diameter RBSim explores).
+        Delegates to :func:`repro.engine.invalidation.anchor_of` — the
+        anchor vocabulary belongs to the shared invalidation oracle.
         """
-        if query.kind == REACH:
-            return (REACH, query.source, query.target)
-        return ("pattern", query.personalized_match, query.pattern.shape()[0])
+        return anchor_of(query)
 
     # ------------------------------------------------------------------ #
     # Preparation
@@ -292,6 +290,8 @@ class QueryEngine:
         report = UpdateReport(summary=summary)
         if summary.mode == "noop":
             report.cache_retained = len(self._cache)
+            if report.cache_retained:
+                obs.counter("cache.retained").inc(report.cache_retained)
             report.wall_seconds = time.perf_counter() - started
             return report
         if summary.mode == "rebuilt":
@@ -301,92 +301,22 @@ class QueryEngine:
             report.wall_seconds = time.perf_counter() - started
             return report
 
-        touched = summary.touched_nodes | summary.membership_dirty
-        to_evict: List[CacheKey] = []
-        pattern_keys: List[Tuple[CacheKey, Any, int]] = []
-        for key in self._cache.keys():
-            anchor = self._anchors.get(key)
-            if anchor is None:  # pragma: no cover - anchors track every put
-                to_evict.append(key)
-            elif anchor[0] == REACH:
-                _, source, target = anchor
-                if (
-                    not summary.reach_alphas_preserved.get(key[1], False)
-                    or source in touched
-                    or target in touched
-                ):
-                    to_evict.append(key)
-            else:
-                pattern_keys.append((key, anchor[1], anchor[2]))
-
-        if pattern_keys:
-            to_evict.extend(self._stale_pattern_keys(pattern_keys, summary, touched))
-
-        report.cache_evicted = self._cache.invalidate(to_evict)
-        for key in to_evict:
+        decision = partition_entries(
+            [(key, key[1], self._anchors.get(key)) for key in self._cache.keys()],
+            summary,
+            pattern_guard=self._pattern_guard_max_degree,
+            graph=self._prepared.graph,
+            max_degree=self._prepared.max_degree,
+        )
+        self._pattern_guard_max_degree = decision.pattern_guard
+        report.cache_evicted = self._cache.invalidate(decision.stale)
+        for key in decision.stale:
             self._anchors.pop(key, None)
         report.cache_retained = len(self._cache)
+        if report.cache_retained:
+            obs.counter("cache.retained").inc(report.cache_retained)
         report.wall_seconds = time.perf_counter() - started
         return report
-
-    def _stale_pattern_keys(
-        self,
-        pattern_keys: List[Tuple[CacheKey, Any, int]],
-        summary: UpdateSummary,
-        touched,
-    ) -> List[CacheKey]:
-        """Pattern entries an update may have invalidated.
-
-        Pattern answers depend on the global budget (``α·|G|``), the visit
-        coefficient (max degree) and the ball around the personalized match;
-        an entry survives only when all three are provably unchanged.
-        """
-        guard = self._pattern_guard_max_degree
-        if summary.size_changed or guard is None:
-            self._pattern_guard_max_degree = None
-            return [key for key, _, _ in pattern_keys]
-        # Only the delta's touched nodes changed degree, so the global max
-        # moved only if a touched node now exceeds the guard or a touched
-        # node *at* the guard shrank (it may have been the unique holder).
-        # This keeps the common update free of a full-graph degree scan.
-        after = summary.touched_degrees_after
-        before = summary.touched_degrees_before
-        if max(after.values(), default=0) > guard:
-            self._pattern_guard_max_degree = None
-            return [key for key, _, _ in pattern_keys]
-        if any(
-            degree == guard and after.get(node, 0) < guard
-            for node, degree in before.items()
-        ):
-            if self._prepared.max_degree() != guard:
-                self._pattern_guard_max_degree = None
-                return [key for key, _, _ in pattern_keys]
-        max_radius = max(radius for _, _, radius in pattern_keys)
-        hops = self._hops_from(touched, max_radius)
-        return [
-            key
-            for key, match, radius in pattern_keys
-            if hops.get(match, max_radius + 1) <= radius
-        ]
-
-    def _hops_from(self, sources, max_hops: int) -> Dict[NodeId, int]:
-        """Undirected hop distance from any source, up to ``max_hops``."""
-        graph = self._prepared.graph
-        distances: Dict[NodeId, int] = {}
-        frontier = [node for node in sources if node in graph]
-        for node in frontier:
-            distances[node] = 0
-        depth = 0
-        while frontier and depth < max_hops:
-            depth += 1
-            next_frontier: List[NodeId] = []
-            for node in frontier:
-                for neighbor in graph.neighbors(node):
-                    if neighbor not in distances:
-                        distances[neighbor] = depth
-                        next_frontier.append(neighbor)
-            frontier = next_frontier
-        return distances
 
     # ------------------------------------------------------------------ #
     # Batch answering

@@ -59,6 +59,11 @@ class UpdateSummary:
     touched_nodes: Set[NodeId] = field(default_factory=set)
     compacted: bool = False
     size_changed: bool = False
+    #: ``|G|`` before/after the delta — the inputs of the per-α resource
+    #: budget ``⌊α·|G|⌋``, so invalidation can tell a size drift that moves
+    #: a budget from one that does not (see ``repro.engine.invalidation``).
+    size_before: int = 0
+    size_after: int = 0
     #: Per prepared α: the repaired index (plus ranks) is answer-identical
     #: to the pre-update one, so untouched cached answers are still exact.
     reach_alphas_preserved: Dict[float, bool] = field(default_factory=dict)
@@ -408,13 +413,16 @@ class PreparedGraph:
             self._invalidate_derived()
             raise
 
-        summary = UpdateSummary(mode="noop", delta_ops=delta.size())
+        summary = UpdateSummary(
+            mode="noop", delta_ops=delta.size(), size_before=pre_size, size_after=pre_size
+        )
         if record.is_empty():
             summary.seconds = time.perf_counter() - started
             obs.counter("update.noop").inc()
             return summary
         summary.touched_nodes = record.touched_nodes()
-        summary.size_changed = overlay.size() != pre_size
+        summary.size_after = overlay.size()
+        summary.size_changed = summary.size_after != pre_size
         summary.touched_degrees_before = degrees_before
         summary.touched_degrees_after = {
             node: overlay.degree(node) for node in delta_touched if node in overlay

@@ -66,6 +66,9 @@ CATALOG = {
     "engine.cache.hits": ("counter", "queries", "repro.engine.engine"),
     "engine.cache.misses": ("counter", "queries", "repro.engine.engine"),
     "engine.cache.evictions": ("counter", "entries", "repro.engine.engine"),
+    # shared invalidation oracle (repro/engine/cache.py + engine.py)
+    "cache.invalidated": ("counter", "entries", "repro.engine.cache"),
+    "cache.retained": ("counter", "entries", "repro.engine.engine"),
     "engine.executor.serial": ("counter", "batches", "repro.engine.engine"),
     "engine.executor.thread": ("counter", "batches", "repro.engine.engine"),
     "engine.executor.process": ("counter", "batches", "repro.engine.engine"),
@@ -94,6 +97,15 @@ CATALOG = {
     # traversal kernel dispatch (repro/graph/kernels.py)
     "kernel.batch_size": ("histogram", "sources", "repro.graph.kernels"),
     "kernel.fallbacks": ("counter", "dispatches", "repro.graph.kernels"),
+    # standing queries (repro/subscribe + repro/service)
+    "sub.active": ("gauge", "subscriptions", "repro.service.service"),
+    "sub.registered": ("counter", "subscriptions", "repro.service.service"),
+    "sub.deregistered": ("counter", "subscriptions", "repro.service.service"),
+    "sub.affected": ("counter", "subscriptions", "repro.service.service"),
+    "sub.skipped": ("counter", "subscriptions", "repro.service.service"),
+    "sub.deltas": ("counter", "deltas", "repro.subscribe.manager"),
+    "sub.pushed": ("counter", "deltas", "repro.service.aio"),
+    "sub.maintain.seconds": ("histogram", "seconds", "repro.service.service"),
 }
 
 #: Trace spans (name -> emitting module); see repro.obs.trace.
@@ -101,6 +113,7 @@ SPANS = {
     "service.query": "repro.service.service",
     "service.update": "repro.service.service",
     "planner": "repro.service.service",
+    "subscription.maintain": "repro.service.service",
     "engine.batch": "repro.engine.engine",
     "executor.chunk": "repro.engine.engine",
     "daemon.worker": "repro.engine.daemons",

@@ -16,7 +16,8 @@ previous PRs built (:mod:`repro.engine`, :mod:`repro.shard`,
 * :mod:`repro.service.service` — :class:`GraphService` itself
   (``open → prepare → query/stream → update → close``);
 * :mod:`repro.service.aio` — the asyncio front-end (``await submit``,
-  ``async for`` streaming) with bounded in-flight admission control;
+  ``async for`` streaming, ``subscription_stream`` delta push) with bounded
+  in-flight admission control;
 * :mod:`repro.service.reporting` — the CLI/benchmark glue every
   ``repro-bench`` command shares.
 
@@ -66,14 +67,17 @@ from repro.service.service import (
     ServiceBatchReport,
     ServiceUpdateReport,
 )
+from repro.subscribe import AnswerDelta, MaintenanceReport, Subscription, replay
 
 __all__ = [
     "AUTO",
+    "AnswerDelta",
     "BACKENDS",
     "CONTAIN",
     "DEFAULT_CLIENT",
     "EXECUTOR_CHOICES",
     "GraphService",
+    "MaintenanceReport",
     "PARALLEL",
     "PATCH",
     "PatternRequest",
@@ -91,8 +95,10 @@ __all__ = [
     "ServiceRequest",
     "ServiceStats",
     "ServiceUpdateReport",
+    "Subscription",
     "UpdatePlan",
     "as_request",
     "config_from_args",
+    "replay",
     "service_flag_parent",
 ]

@@ -30,6 +30,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.exceptions import ServiceError
 from repro.service.requests import ServiceAnswer, ServiceRequest, as_request
 
 
@@ -233,6 +234,70 @@ class AsyncFrontEnd:
             for task in tasks:
                 task.cancel()
             await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def subscription_stream(
+        self, requests: Sequence[Any], alpha: Optional[float] = None
+    ):
+        """Register standing queries and yield their answer deltas forever.
+
+        Each subscription holds one admission charge (count 1, cost α) for
+        the stream's lifetime — a client with standing queries has that much
+        less budget for ad-hoc ``submit``/``stream`` traffic, which is the
+        backpressure story: a slow consumer cannot pile up unbounded standing
+        work.  Deltas cross from the service's maintenance pass (any thread)
+        into the consumer's loop via ``call_soon_threadsafe``; closing the
+        generator deregisters every subscription and releases the admission.
+        """
+        resolved = [as_request(item) for item in requests]
+        alphas = [self._effective_alpha(request, alpha) for request in resolved]
+        charges = _charges(resolved, alphas)
+        loop = asyncio.get_running_loop()
+        queue: "asyncio.Queue" = asyncio.Queue()
+
+        def sink(delta):
+            try:
+                loop.call_soon_threadsafe(queue.put_nowait, delta)
+            except RuntimeError:
+                pass  # consumer's loop is gone; the envelope has no reader
+
+        # Acquire before the try so a cancellation during the wait cannot
+        # reach the finally and release charges that were never held.
+        await self.admission.acquire(charges)
+        subscriptions: List[Any] = []
+        try:
+
+            def register() -> None:
+                # Appends as it goes so the cleanup below sees every
+                # subscription that actually registered, even when a later
+                # registration (or a cancellation) interrupts the loop.
+                for request, request_alpha in zip(resolved, alphas):
+                    subscriptions.append(
+                        self._service.subscribe(request, alpha=request_alpha, sink=sink)
+                    )
+
+            await loop.run_in_executor(self._pool, register)
+            while True:
+                delta = await queue.get()
+                self._service._stats.deltas_pushed += 1
+                obs.counter("sub.pushed").inc()
+                yield delta
+        finally:
+
+            def cleanup() -> None:
+                for subscription in subscriptions:
+                    try:
+                        self._service.unsubscribe(subscription.id)
+                    except ServiceError:
+                        pass  # already removed, or the service closed first
+
+            try:
+                # On the worker thread: the pool is single-threaded, so this
+                # runs strictly after any still-in-flight register() call and
+                # cannot race its appends.
+                await asyncio.shield(loop.run_in_executor(self._pool, cleanup))
+            except RuntimeError:
+                cleanup()  # pool already shut down (service closed)
+            await asyncio.shield(self.admission.release(charges))
 
 
 __all__ = ["AdmissionController", "AsyncFrontEnd", "_charges"]

@@ -86,6 +86,13 @@ class ServiceConfig:
         queries stays within ``client_alpha_budget``; ``stream`` dispatches
         in chunks of ``stream_chunk_size`` so answers flow back as chunks
         complete.
+    max_subscriptions / maintenance_batch_size:
+        Standing queries (:mod:`repro.subscribe`): ``subscribe`` rejects
+        registrations beyond ``max_subscriptions``; the per-update
+        maintenance pass re-evaluates affected subscriptions in engine
+        batches of at most ``maintenance_batch_size`` (the re-evaluation
+        budget — it bounds how long one update call monopolises the engine
+        per batch, not how many subscriptions get maintained).
     """
 
     alpha: float = 0.02
@@ -106,6 +113,8 @@ class ServiceConfig:
     max_inflight: int = 32
     client_alpha_budget: float = 1.0
     stream_chunk_size: int = 16
+    max_subscriptions: int = 1024
+    maintenance_batch_size: int = 512
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha <= 1:
@@ -142,6 +151,14 @@ class ServiceConfig:
             )
         if self.stream_chunk_size < 1:
             raise ServiceError(f"stream_chunk_size must be >= 1, got {self.stream_chunk_size}")
+        if self.max_subscriptions < 0:
+            raise ServiceError(
+                f"max_subscriptions must be >= 0, got {self.max_subscriptions}"
+            )
+        if self.maintenance_batch_size < 1:
+            raise ServiceError(
+                f"maintenance_batch_size must be >= 1, got {self.maintenance_batch_size}"
+            )
 
     def with_overrides(self, **overrides) -> "ServiceConfig":
         """A copy with the given fields replaced (validation re-runs)."""

@@ -143,6 +143,17 @@ class ServiceStats:
     max_inflight: int = 0
     #: times an async submission had to wait for admission (backpressure).
     admission_waits: int = 0
+    #: standing-query counters (repro.subscribe).
+    subscribed: int = 0
+    unsubscribed: int = 0
+    #: per-update maintenance outcomes, summed over every update: standing
+    #: queries re-evaluated vs proven answer-unchanged by the oracle.
+    sub_affected: int = 0
+    sub_skipped: int = 0
+    #: answer deltas emitted (answer actually changed) / pushed to async
+    #: subscription streams.
+    answer_deltas: int = 0
+    deltas_pushed: int = 0
 
     def record_plan(self, backend: str, num_queries: int) -> None:
         """Count one planned batch."""

@@ -47,6 +47,7 @@ from repro.service.requests import (
     as_request,
 )
 from repro.shard.engine import ShardBatchReport, ShardedEngine, ShardUpdateReport
+from repro.subscribe import DeltaSink, MaintenanceReport, Subscription, SubscriptionManager
 from repro.updates.delta import GraphDelta
 
 
@@ -160,6 +161,9 @@ class ServiceUpdateReport:
     engine_report: UpdateReport
     shard_report: Optional[ShardUpdateReport]
     wall_seconds: float
+    #: what the standing-query maintenance pass did (``None`` when the
+    #: service holds no subscriptions).
+    maintenance: Optional[MaintenanceReport] = None
 
     @property
     def mode(self) -> str:
@@ -218,6 +222,7 @@ class GraphService:
         self._engine: Optional[QueryEngine] = None
         self._sharded: Optional[ShardedEngine] = None
         self._stats = ServiceStats()
+        self._subscriptions = SubscriptionManager()
         self._lock = threading.RLock()
         self._frontend = None  # lazily-built async front-end (repro.service.aio)
         self._closed = False
@@ -647,6 +652,7 @@ class GraphService:
                 shard_report = (
                     self._sharded.update(delta) if self._sharded is not None else None
                 )
+                maintenance = self._maintain_subscriptions(engine_report)
             wall = time.perf_counter() - started
             self._stats.updates += 1
             obs.counter("service.updates").inc()
@@ -659,7 +665,129 @@ class GraphService:
                 engine_report=engine_report,
                 shard_report=shard_report,
                 wall_seconds=wall,
+                maintenance=maintenance,
             )
+
+    # ------------------------------------------------------------------ #
+    # Standing queries (repro.subscribe)
+    # ------------------------------------------------------------------ #
+    def subscribe(
+        self,
+        request: Any,
+        alpha: Optional[float] = None,
+        sink: Optional[DeltaSink] = None,
+    ) -> Subscription:
+        """Register a standing query; its answer stays current across updates.
+
+        The answer is materialised immediately through the normal batch path
+        (planner, cache, executors) and pushed as the epoch-0
+        :class:`~repro.subscribe.AnswerDelta` through ``sink`` (when given).
+        Every subsequent :meth:`update` runs a maintenance pass: the shared
+        invalidation oracle decides which subscriptions the delta may have
+        affected, only those re-evaluate, and answer changes are pushed as
+        further deltas.  Accepts the same request shapes as :meth:`query`.
+        """
+        with self._lock:
+            self._check_open()
+            if len(self._subscriptions) >= self._config.max_subscriptions:
+                raise ServiceError(
+                    f"subscription limit reached ({self._config.max_subscriptions}); "
+                    "unsubscribe or raise ServiceConfig.max_subscriptions"
+                )
+            resolved = as_request(request)
+            sub_alpha = (
+                resolved.alpha
+                if resolved.alpha is not None
+                else (alpha if alpha is not None else self._config.alpha)
+            )
+            value = self._run_batch_locked([resolved], sub_alpha).answers[0]
+            subscription = self._subscriptions.register(
+                resolved,
+                sub_alpha,
+                value,
+                client=resolved.client,
+                sink=sink,
+                max_degree=self._ensure_engine().prepared.max_degree,
+            )
+            self._stats.subscribed += 1
+            self._stats.answer_deltas += 1  # the epoch-0 snapshot
+            obs.counter("sub.registered").inc()
+            obs.gauge("sub.active").set(len(self._subscriptions))
+            return subscription
+
+    def unsubscribe(self, subscription: Any) -> Subscription:
+        """Remove a standing query (accepts the object or its ID)."""
+        with self._lock:
+            self._check_open()
+            sub_id = (
+                subscription.id
+                if isinstance(subscription, Subscription)
+                else subscription
+            )
+            removed = self._subscriptions.deregister(sub_id)
+            self._stats.unsubscribed += 1
+            obs.counter("sub.deregistered").inc()
+            obs.gauge("sub.active").set(len(self._subscriptions))
+            return removed
+
+    def subscriptions(self) -> List[Subscription]:
+        """A snapshot of the standing-query table, registration order."""
+        with self._lock:
+            return self._subscriptions.subscriptions()
+
+    def _maintain_subscriptions(self, engine_report: UpdateReport) -> Optional[MaintenanceReport]:
+        """Re-evaluate exactly the standing queries the delta may have changed.
+
+        Called under the service lock inside ``update``.  The partition comes
+        from the same oracle the engine's cache invalidation just used, so a
+        subscription skips work precisely when its cached answer would have
+        survived; affected ones re-run through :meth:`_run_batch_locked` —
+        planner, cache, daemons and shards included — in chunks of
+        ``maintenance_batch_size`` per α.
+        """
+        manager = self._subscriptions
+        total = len(manager)
+        if total == 0:
+            return None
+        started = time.perf_counter()
+        with obs.span("subscription.maintain", subscriptions=total):
+            engine = self._ensure_engine()
+            decision = manager.partition(
+                engine_report.summary, self.graph, engine.prepared.max_degree
+            )
+            changed = 0
+            if decision.stale:
+                groups: Dict[float, List[Subscription]] = {}
+                for sub_id in decision.stale:
+                    sub = manager.get(sub_id)
+                    groups.setdefault(sub.alpha, []).append(sub)
+                chunk_size = self._config.maintenance_batch_size
+                for group_alpha in sorted(groups):
+                    group = groups[group_alpha]
+                    for start in range(0, len(group), chunk_size):
+                        chunk = group[start : start + chunk_size]
+                        batch = self._run_batch_locked(
+                            [sub.request for sub in chunk], group_alpha
+                        )
+                        for sub, value in zip(chunk, batch.answers):
+                            if manager.commit(sub.id, value) is not None:
+                                changed += 1
+                manager.reseed_guard(engine.prepared.max_degree)
+        wall = time.perf_counter() - started
+        obs.counter("sub.affected").inc(len(decision.stale))
+        obs.counter("sub.skipped").inc(len(decision.retained))
+        obs.histogram("sub.maintain.seconds").observe(wall)
+        self._stats.sub_affected += len(decision.stale)
+        self._stats.sub_skipped += len(decision.retained)
+        self._stats.answer_deltas += changed
+        return MaintenanceReport(
+            mode=engine_report.mode,
+            subscriptions=total,
+            affected=len(decision.stale),
+            skipped=len(decision.retained),
+            changed=changed,
+            wall_seconds=wall,
+        )
 
     # ------------------------------------------------------------------ #
     # Async front-end
@@ -694,6 +822,20 @@ class GraphService:
         and releases their admission — the service stays reusable.
         """
         return self._ensure_frontend().stream(requests, alpha=alpha)
+
+    def subscription_stream(self, requests: Sequence[Any], alpha: Optional[float] = None):
+        """``async for`` over the answer deltas of a set of standing queries.
+
+        Registers every request as a subscription (under admission control —
+        each standing query holds one admission charge for the stream's
+        lifetime, so a client's standing and ad-hoc queries share one α
+        budget) and yields :class:`~repro.subscribe.AnswerDelta` envelopes:
+        first each subscription's epoch-0 snapshot, then every answer change
+        maintenance pushes.  Closing the generator (or cancelling its
+        consumer) deregisters the subscriptions and releases the admission —
+        the service stays reusable.
+        """
+        return self._ensure_frontend().subscription_stream(requests, alpha=alpha)
 
 
 __all__ = [

@@ -1,0 +1,206 @@
+"""Subscription registry + the maintenance bookkeeping around one update.
+
+The :class:`SubscriptionManager` owns the standing-query table of one
+:class:`~repro.service.GraphService`.  It is deliberately engine-agnostic:
+the service materialises and re-evaluates answers through its normal batch
+path; the manager only decides *which* subscriptions an absorbed delta may
+have affected — by calling the same
+:func:`repro.engine.invalidation.partition_entries` oracle the engine's LRU
+cache uses — and turns answer changes into pushed
+:class:`~repro.subscribe.subscription.AnswerDelta` envelopes.
+
+All mutation happens under the owning service's lock; the manager itself
+holds none.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro import obs
+from repro.engine.invalidation import InvalidationDecision, anchor_of, partition_entries
+from repro.engine.prepared import UpdateSummary
+from repro.engine.queries import REACH
+from repro.exceptions import ServiceError
+from repro.graph.protocol import GraphLike
+from repro.subscribe.subscription import (
+    INITIAL,
+    UPDATE,
+    AnswerDelta,
+    Subscription,
+    answer_signature,
+)
+
+#: A delta consumer: called synchronously with each emitted envelope.
+DeltaSink = Callable[[AnswerDelta], None]
+
+
+@dataclass(frozen=True)
+class MaintenanceReport:
+    """What one maintenance pass did to the standing-query table.
+
+    ``affected`` subscriptions were re-evaluated as a normal engine batch;
+    ``skipped`` ones the invalidation oracle proved answer-preserved (no
+    work at all); ``changed`` counts re-evaluations whose answer actually
+    moved — each of those emitted exactly one delta envelope.
+    """
+
+    mode: str
+    subscriptions: int = 0
+    affected: int = 0
+    skipped: int = 0
+    changed: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def affected_fraction(self) -> float:
+        """Share of standing queries the update forced us to re-evaluate."""
+        return self.affected / self.subscriptions if self.subscriptions else 0.0
+
+
+class SubscriptionManager:
+    """The standing-query table: registration, partitioning, delta emission.
+
+    ``_guard`` mirrors the engine's pattern max-degree guard but tracks the
+    *subscription* population: it is snapshotted when the first pattern
+    subscription appears and dropped whenever a partition retains no pattern
+    subscription, exactly as :func:`partition_entries` prescribes.
+    """
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[int, Subscription] = {}
+        self._sinks: Dict[int, DeltaSink] = {}
+        self._next_id = 0
+        self._guard: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def __contains__(self, sub_id: int) -> bool:
+        return sub_id in self._subscriptions
+
+    def get(self, sub_id: int) -> Subscription:
+        try:
+            return self._subscriptions[sub_id]
+        except KeyError:
+            raise ServiceError(f"unknown subscription id {sub_id}") from None
+
+    def subscriptions(self) -> List[Subscription]:
+        """A snapshot of the table, registration order."""
+        return list(self._subscriptions.values())
+
+    def register(
+        self,
+        request: Any,
+        alpha: float,
+        value: Any,
+        *,
+        client: str,
+        sink: Optional[DeltaSink] = None,
+        max_degree: Optional[Callable[[], int]] = None,
+    ) -> Subscription:
+        """Admit a standing query with its freshly materialised answer.
+
+        Emits the epoch-0 registration snapshot through ``sink`` so a delta
+        log replays from nothing to the current answer.  ``max_degree``
+        seeds the pattern guard when this is the first pattern subscription.
+        """
+        sub = Subscription(
+            id=self._next_id,
+            request=request,
+            alpha=alpha,
+            client=client,
+            anchor=anchor_of(request),
+            value=value,
+        )
+        self._next_id += 1
+        self._subscriptions[sub.id] = sub
+        if sink is not None:
+            self._sinks[sub.id] = sink
+        if sub.kind != REACH and self._guard is None and max_degree is not None:
+            self._guard = max_degree()
+        self._emit(sub, old_value=None, reason=INITIAL)
+        return sub
+
+    def deregister(self, sub_id: int) -> Subscription:
+        """Remove a subscription (and its sink); raises on unknown IDs."""
+        sub = self.get(sub_id)
+        del self._subscriptions[sub_id]
+        self._sinks.pop(sub_id, None)
+        if not any(s.kind != REACH for s in self._subscriptions.values()):
+            self._guard = None
+        return sub
+
+    def partition(
+        self,
+        summary: UpdateSummary,
+        graph: GraphLike,
+        max_degree: Callable[[], int],
+    ) -> InvalidationDecision:
+        """Ask the shared oracle which subscriptions the delta may affect.
+
+        Stale IDs must be re-evaluated; retained ones keep their answers.
+        Updates the pattern guard from the decision — callers that re-admit
+        pattern subscriptions after re-evaluation should follow up with
+        :meth:`reseed_guard`.
+        """
+        decision = partition_entries(
+            [(sub.id, sub.alpha, sub.anchor) for sub in self._subscriptions.values()],
+            summary,
+            pattern_guard=self._guard,
+            graph=graph,
+            max_degree=max_degree,
+        )
+        self._guard = decision.pattern_guard
+        for sub_id in decision.retained:
+            self._subscriptions[sub_id].skipped += 1
+        return decision
+
+    def reseed_guard(self, max_degree: Callable[[], int]) -> None:
+        """Re-snapshot the pattern guard after affected answers were redone.
+
+        Once every affected pattern subscription holds an answer computed
+        against the *current* graph, the current max degree is the correct
+        guard for all of them — the same contract the engine applies when it
+        caches its next pattern answer.
+        """
+        if self._guard is None and any(
+            s.kind != REACH for s in self._subscriptions.values()
+        ):
+            self._guard = max_degree()
+
+    def commit(self, sub_id: int, new_value: Any) -> Optional[AnswerDelta]:
+        """Install a re-evaluated answer; emit a delta iff it changed."""
+        sub = self.get(sub_id)
+        sub.reevaluated += 1
+        old_value = sub.value
+        if answer_signature(sub.kind, new_value) == sub.signature():
+            return None
+        sub.value = new_value
+        sub.epoch += 1
+        return self._emit(sub, old_value=old_value, reason=UPDATE)
+
+    def _emit(self, sub: Subscription, *, old_value: Any, reason: str) -> AnswerDelta:
+        delta = AnswerDelta(
+            subscription_id=sub.id,
+            epoch=sub.epoch,
+            kind=sub.kind,
+            old_value=old_value,
+            new_value=sub.value,
+            reason=reason,
+        )
+        sub.deltas_emitted += 1
+        obs.counter("sub.deltas").inc()
+        sink = self._sinks.get(sub.id)
+        if sink is not None:
+            sink(delta)
+        return delta
+
+
+__all__ = [
+    "DeltaSink",
+    "MaintenanceReport",
+    "SubscriptionManager",
+]

@@ -123,11 +123,17 @@ class GraphDelta:
         return iter(self.ops)
 
     def __repr__(self) -> str:
-        kinds = {}
+        inner = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.ops_by_kind().items())
+        )
+        return f"GraphDelta({inner or 'empty'})"
+
+    def ops_by_kind(self) -> dict:
+        """Op counts per kind — the shape of a churn batch at a glance."""
+        kinds: dict = {}
         for op in self.ops:
             kinds[op.kind] = kinds.get(op.kind, 0) + 1
-        inner = ", ".join(f"{kind}={count}" for kind, count in sorted(kinds.items()))
-        return f"GraphDelta({inner or 'empty'})"
+        return kinds
 
     def size(self) -> int:
         """Number of operations — the ``|delta|`` used by patch thresholds."""

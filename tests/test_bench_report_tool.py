@@ -180,6 +180,7 @@ def test_all_suites_registered_with_committed_baselines():
         "service",
         "latency",
         "kernels",
+        "subscriptions",
     }
     for name in module.SUITES:
         assert (ROOT / "benchmarks" / "baselines" / f"BENCH_{name}.json").exists()

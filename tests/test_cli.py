@@ -47,6 +47,50 @@ class TestRun:
             main([])
 
 
+class TestSubscribe:
+    def test_subscribe_reports_maintenance_and_verifies(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "subscribe.json"
+        assert (
+            main(
+                [
+                    "subscribe",
+                    "--dataset",
+                    "youtube-small",
+                    "--count",
+                    "8",
+                    "--batches",
+                    "2",
+                    "--ops",
+                    "10",
+                    "--confine",
+                    "0.3",
+                    "--executor",
+                    "serial",
+                    "--verify",
+                    "--output",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "registered: 8 subscriptions" in output
+        assert "verify=ok" in output and "MISMATCH" not in output
+        assert "replay: every pushed log replays" in output
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["subscriptions"] == 8 and payload["batches"] == 2
+        assert payload["verify_failures"] == 0 and payload["replay_parity"] is True
+        assert 0.0 <= payload["affected_fraction"] <= 1.0
+        # Every pushed delta is a snapshot or a change on some subscription.
+        assert payload["deltas_pushed"] == payload["answer_deltas"] + 8
+
+    def test_subscribe_rejects_bad_confine(self):
+        with pytest.raises(SystemExit):
+            main(["subscribe", "--confine", "1.5"])
+
+
 class TestTrace:
     def test_trace_prints_waterfall_and_exports_chrome_json(self, tmp_path, capsys):
         import json

@@ -35,6 +35,7 @@ EXPECTED_PACKAGES = {
     "repro.reachability",
     "repro.service",
     "repro.shard",
+    "repro.subscribe",
     "repro.updates",
     "repro.workloads",
 }

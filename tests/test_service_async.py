@@ -246,3 +246,105 @@ class TestAdmissionControl:
         assert stats.admission_waits > 0
         # At most one in-flight query per client at any instant.
         assert stats.max_inflight <= 2
+
+
+class TestSubscriptionStream:
+    def _toy_service(self):
+        """0→1 and 2→3: adding 1→2 flips reach(0, 3) from False to True."""
+        from repro.graph.digraph import DiGraph
+
+        toy = DiGraph()
+        for node in range(4):
+            toy.add_node(node, "A")
+        toy.add_edge(0, 1)
+        toy.add_edge(2, 3)
+        return GraphService(toy, ServiceConfig(alpha=ALPHA))
+
+    def test_stream_pushes_snapshot_then_maintenance_delta(self):
+        from repro.subscribe import INITIAL, UPDATE
+        from repro.updates.delta import GraphDelta
+
+        service = self._toy_service()
+
+        async def main():
+            stream = service.subscription_stream([ReachRequest(0, 3)])
+            snapshot = await asyncio.wait_for(stream.__anext__(), timeout=5)
+            assert snapshot.reason == INITIAL and snapshot.epoch == 0
+            assert snapshot.new_value.reachable is False
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None, service.update, GraphDelta().add_edge(1, 2)
+            )
+            change = await asyncio.wait_for(stream.__anext__(), timeout=5)
+            assert change.reason == UPDATE and change.epoch == 1
+            assert change.old_value.reachable is False
+            assert change.new_value.reachable is True
+            await stream.aclose()
+
+        asyncio.run(main())
+        assert service.subscriptions() == []
+        assert service._frontend.admission.inflight == 0
+        service.close()
+
+    def test_cancellation_mid_update_releases_admission_and_deregisters(
+        self, graph, requests, reference
+    ):
+        from repro.workloads.deltas import generate_delta_stream
+
+        service = GraphService(graph, ServiceConfig(cache_size=0))
+        deltas = list(
+            generate_delta_stream(graph, batches=2, ops_per_batch=10, mix="uniform", seed=9)
+        )
+
+        async def main():
+            received = []
+
+            async def consume():
+                async for delta in service.subscription_stream(
+                    requests[:4], alpha=ALPHA
+                ):
+                    received.append(delta)
+
+            task = asyncio.create_task(consume())
+            # Wait for the epoch-0 snapshots: registration is complete and
+            # the stream holds its admission charges.
+            while len(received) < 4:
+                await asyncio.sleep(0.01)
+            assert service._frontend.admission.inflight == 4
+            assert len(service.subscriptions()) == 4
+            # Cancel while an update (and its maintenance pass) is running.
+            loop = asyncio.get_running_loop()
+            update = loop.run_in_executor(None, service.update, deltas[0])
+            task.cancel()
+            await asyncio.gather(task, update, return_exceptions=True)
+
+        asyncio.run(main())
+        # Admission charges released, table empty, service fully reusable.
+        assert service._frontend.admission.inflight == 0
+        assert service.subscriptions() == []
+        service.update(deltas[1])
+        sub = service.subscribe(requests[0], alpha=ALPHA)
+        assert sub.value is not None
+        answer = asyncio.run(service.submit(requests[1], alpha=ALPHA))
+        assert answer.value is not None
+        service.close()
+
+    def test_standing_charges_count_against_the_client_budget(self, graph, requests):
+        service = GraphService(graph, ServiceConfig(cache_size=0, max_inflight=3))
+
+        async def main():
+            stream = service.subscription_stream(requests[:3], alpha=ALPHA)
+            for _ in range(3):
+                await asyncio.wait_for(stream.__anext__(), timeout=5)
+            # All three admission slots are held by standing queries: an
+            # ad-hoc submit must wait until the stream closes.
+            submit = asyncio.ensure_future(service.submit(requests[3], alpha=ALPHA))
+            await asyncio.sleep(0.05)
+            assert not submit.done()
+            await stream.aclose()
+            return await asyncio.wait_for(submit, timeout=5)
+
+        answer = asyncio.run(main())
+        assert answer.value is not None
+        assert service._frontend.admission.inflight == 0
+        service.close()

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Machine-readable benchmark reports plus the CI regression gate.
 
-Runs seven quick smoke suites and writes one JSON report each:
+Runs eight quick smoke suites and writes one JSON report each:
 
 * ``BENCH_engine.json`` — the batched query engine: serial vs process-pool
   vs warm-daemon-pool throughput on an RBReach batch, the daemon-backed
@@ -20,7 +20,10 @@ Runs seven quick smoke suites and writes one JSON report each:
   async front-end under seeded Poisson and burst arrival schedules;
 * ``BENCH_kernels.json`` — the word-parallel bitset kernel tier: one
   multi-source ``reach_batch`` sweep vs a per-source ``reach_mask`` loop,
-  plain and absorbing (landmark-style stop sets), with bit-parity gated.
+  plain and absorbing (landmark-style stop sets), with bit-parity gated;
+* ``BENCH_subscriptions.json`` — standing-query maintenance: the shared
+  invalidation oracle re-evaluating only affected subscriptions vs naively
+  re-answering all of them per delta, with both parity witnesses gated.
 
 Each report carries a ``gates`` table naming the metrics CI guards.  Gated
 metrics are deliberately *relative* (speedups, hit rates, 0/1 correctness
@@ -489,6 +492,49 @@ def latency_suite() -> dict:
     }
 
 
+def subscriptions_suite() -> dict:
+    """Standing-query maintenance vs naive per-delta re-answering."""
+    import sys as _sys
+
+    bench_dir = str(ROOT / "benchmarks")
+    if bench_dir not in _sys.path:
+        _sys.path.insert(0, bench_dir)
+    from bench_subscriptions import measure_subscriptions
+
+    metrics = measure_subscriptions(seed=SEED)
+    return {
+        "suite": "subscriptions",
+        "schema_version": 1,
+        "environment": _environment(),
+        "config": {
+            "alpha": metrics["alpha"],
+            "graph_size": metrics["graph_size"],
+            "subscriptions": metrics["subscriptions"],
+            "batches": metrics["batches"],
+            "ops_per_batch": metrics["ops_per_batch"],
+        },
+        "metrics": {
+            "affected_fraction": metrics["affected_fraction"],
+            "maintenance_seconds": metrics["maintenance_seconds"],
+            "naive_seconds": metrics["naive_seconds"],
+            "maintenance_speedup": metrics["maintenance_speedup"],
+            "changed": metrics["changed"],
+            "parity": int(metrics["parity"]),
+            "replay_parity": int(metrics["replay_parity"]),
+        },
+        # maintenance_speedup is the headline relative metric;
+        # affected_fraction is gated *lower* (over-invalidation erodes the
+        # skip rate long before it breaks correctness); the two parity
+        # witnesses are hard 0/1 gates — any drop below 1 fails outright.
+        "gates": {
+            "maintenance_speedup": "higher",
+            "affected_fraction": "lower",
+            "parity": "higher",
+            "replay_parity": "higher",
+        },
+    }
+
+
 SUITES = {
     "engine": engine_suite,
     "backend": backend_suite,
@@ -497,6 +543,7 @@ SUITES = {
     "service": service_suite,
     "latency": latency_suite,
     "kernels": kernels_suite,
+    "subscriptions": subscriptions_suite,
 }
 
 
